@@ -1,0 +1,51 @@
+"""Ablation: processor grid shape (the §5 grid-selection rule).
+
+Runs HPC-NMF with every factorization of p on a squarish measured-scale
+matrix and reports the communication volume and wall-clock per grid,
+confirming that the paper's rule (m/pr ~= n/pc) minimizes the words moved.
+"""
+
+import numpy as np
+
+from repro.comm.grid import choose_grid, factor_pairs
+from repro.core.api import parallel_nmf
+from repro.data.synthetic import dense_synthetic
+
+
+def _run_grid(A, k, p, grid):
+    res = parallel_nmf(
+        A, k, n_ranks=p, algorithm="hpc2d", grid=grid, max_iters=2,
+        compute_error=False, seed=3,
+    )
+    words = sum(e["words"] for e in res.ledger_summary.values())
+    return res, words
+
+
+def test_grid_shape_ablation(benchmark, write_artifact):
+    m, n, k, p = 288, 192, 8, 8
+    A = dense_synthetic(m, n, seed=2)
+
+    rows = ["Grid-shape ablation (dense 288x192, k=8, p=8)",
+            f"{'grid':>8}  {'words/iter':>12}  {'seconds/iter':>12}"]
+    volumes = {}
+    for grid in factor_pairs(p):
+        res, words = _run_grid(A, k, p, grid)
+        per_iter_words = words / res.iterations
+        volumes[grid] = per_iter_words
+        rows.append(
+            f"{grid[0]}x{grid[1]:<6}  {per_iter_words:>12.1f}  {res.seconds_per_iteration:>12.4f}"
+        )
+    chosen = choose_grid(m, n, p)
+    rows.append(f"rule of §5 selects: {chosen[0]}x{chosen[1]}")
+    text = "\n".join(rows)
+    write_artifact("ablation_grid_shape.txt", text)
+
+    # The paper's rule must pick (one of) the volume-minimising grids.
+    best = min(volumes.values())
+    assert volumes[chosen] <= best * 1.01
+
+    def run_chosen():
+        return _run_grid(A, k, p, chosen)[0]
+
+    result = benchmark.pedantic(run_chosen, rounds=1, iterations=1)
+    assert result.grid_shape == chosen

@@ -1,0 +1,14 @@
+"""Figure 3a: sparse synthetic (SSYN) — per-iteration time vs rank k at 600 cores.
+
+Reproduces the panel in which the paper reports its largest Naive-to-HPC-2D
+speedup (4.4x at k=10, a communication-bound configuration).
+"""
+
+from benchmarks.figure_harness import run_comparison_figure
+
+
+def test_fig3a_ssyn_comparison(benchmark, write_artifact):
+    target, text = run_comparison_figure("3a", "SSYN", write_artifact)
+    assert "HPC-NMF-2D" in text
+    breakdown = benchmark.pedantic(target, rounds=1, iterations=1)
+    assert breakdown.total > 0

@@ -1,0 +1,10 @@
+"""Figure 3c: dense synthetic (DSYN) — per-iteration time vs rank k at 600 cores."""
+
+from benchmarks.figure_harness import run_comparison_figure
+
+
+def test_fig3c_dsyn_comparison(benchmark, write_artifact):
+    target, text = run_comparison_figure("3c", "DSYN", write_artifact)
+    assert "DSYN" in text
+    breakdown = benchmark.pedantic(target, rounds=1, iterations=1)
+    assert breakdown.total > 0

@@ -1,0 +1,14 @@
+"""Figure 3d: dense synthetic (DSYN) — strong scaling at k = 50 (216/384/600 cores).
+
+The dense datasets do not fit on fewer than 9 Edison nodes, so (as in the
+paper) the modeled sweep starts at 216 cores.
+"""
+
+from benchmarks.figure_harness import run_scaling_figure
+
+
+def test_fig3d_dsyn_scaling(benchmark, write_artifact):
+    target, text = run_scaling_figure("3d", "DSYN", write_artifact)
+    assert "DSYN" in text
+    breakdown = benchmark.pedantic(target, rounds=1, iterations=1)
+    assert breakdown.total > 0

@@ -1,0 +1,15 @@
+"""Figure 3e: Webbase graph — per-iteration time vs rank k at 600 cores.
+
+This is the panel the paper singles out as NLS-bound: the local BPP solves
+dominate and scale super-linearly with k, so the stacked bars are not linear
+in k.  The modeled NLS term reproduces that behaviour.
+"""
+
+from benchmarks.figure_harness import run_comparison_figure
+
+
+def test_fig3e_webbase_comparison(benchmark, write_artifact):
+    target, text = run_comparison_figure("3e", "Webbase", write_artifact)
+    assert "Webbase" in text
+    breakdown = benchmark.pedantic(target, rounds=1, iterations=1)
+    assert breakdown.total > 0

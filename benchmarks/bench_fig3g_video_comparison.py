@@ -1,0 +1,15 @@
+"""Figure 3g: Video matrix — per-iteration time vs rank k at 600 cores.
+
+The Video matrix is tall and skinny, so the 1D and auto-selected grids
+coincide and both HPC variants are computation bound — the paper's
+explanation for why 1D and 2D perform comparably here.
+"""
+
+from benchmarks.figure_harness import run_comparison_figure
+
+
+def test_fig3g_video_comparison(benchmark, write_artifact):
+    target, text = run_comparison_figure("3g", "Video", write_artifact, measured_ranks=2)
+    assert "Video" in text
+    breakdown = benchmark.pedantic(target, rounds=1, iterations=1)
+    assert breakdown.total > 0

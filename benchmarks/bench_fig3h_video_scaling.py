@@ -1,0 +1,10 @@
+"""Figure 3h: Video matrix — strong scaling at k = 50 (216/384/600 cores)."""
+
+from benchmarks.figure_harness import run_scaling_figure
+
+
+def test_fig3h_video_scaling(benchmark, write_artifact):
+    target, text = run_scaling_figure("3h", "Video", write_artifact, measured_rank_counts=(1, 2, 4))
+    assert "Video" in text
+    breakdown = benchmark.pedantic(target, rounds=1, iterations=1)
+    assert breakdown.total > 0

@@ -1,0 +1,61 @@
+"""Micro-benchmarks of the local computation kernels (MM and Gram tasks).
+
+These are the per-rank building blocks of lines 3, 6, 9 and 12 of
+Algorithm 3; the dense/sparse pair shows the ``2·m·n·k`` vs ``2·nnz·k`` flop
+difference the cost analysis relies on.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core.local_ops import gram, matmul_a_ht, matmul_wt_a
+
+
+@pytest.fixture(scope="module")
+def dense_block():
+    return np.random.default_rng(0).random((2000, 1500))
+
+
+@pytest.fixture(scope="module")
+def sparse_block():
+    return sp.random(2000, 1500, density=0.01, random_state=0, format="csr")
+
+
+@pytest.fixture(scope="module")
+def factor_k32():
+    return np.random.default_rng(1).random((1500, 32))
+
+
+def test_mm_dense_a_ht(benchmark, dense_block, factor_k32):
+    out = benchmark(matmul_a_ht, dense_block, factor_k32)
+    assert out.shape == (2000, 32)
+
+
+def test_mm_sparse_a_ht(benchmark, sparse_block, factor_k32):
+    out = benchmark(matmul_a_ht, sparse_block, factor_k32)
+    assert out.shape == (2000, 32)
+
+
+def test_mm_dense_wt_a(benchmark, dense_block):
+    W = np.random.default_rng(2).random((2000, 32))
+    out = benchmark(matmul_wt_a, W, dense_block)
+    assert out.shape == (32, 1500)
+
+
+def test_mm_sparse_wt_a(benchmark, sparse_block):
+    W = np.random.default_rng(2).random((2000, 32))
+    out = benchmark(matmul_wt_a, W, sparse_block)
+    assert out.shape == (32, 1500)
+
+
+def test_gram_of_h_block(benchmark):
+    H = np.random.default_rng(3).random((32, 20000))
+    out = benchmark(gram, H, False)
+    assert out.shape == (32, 32)
+
+
+def test_gram_of_w_block(benchmark):
+    W = np.random.default_rng(4).random((20000, 32))
+    out = benchmark(gram, W, True)
+    assert out.shape == (32, 32)

@@ -1,0 +1,35 @@
+"""Micro-benchmarks of the local NLS solvers (the "NLS" task of Figure 3).
+
+The multi-right-hand-side problem sizes mirror what one rank of HPC-NMF sees:
+a k×k Gram matrix with k in {10..50} and a few hundred columns.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nls import make_solver
+
+
+def _problem(k, c, seed=0):
+    rng = np.random.default_rng(seed)
+    C = rng.random((4 * k, k)) + 0.01
+    B = rng.random((4 * k, c))
+    return C.T @ C, C.T @ B
+
+
+@pytest.mark.parametrize("k", [10, 30, 50])
+@pytest.mark.parametrize("solver_name", ["bpp", "mu", "hals"])
+def test_nls_solver_speed(benchmark, solver_name, k):
+    gram, rhs = _problem(k, c=400)
+    solver = make_solver(solver_name)
+    x = benchmark(solver.solve, gram, rhs)
+    assert x.shape == rhs.shape
+    assert np.all(x >= 0)
+
+
+def test_bpp_many_small_columns(benchmark):
+    """The Webbase regime: many columns, small k."""
+    gram, rhs = _problem(10, c=3000, seed=3)
+    solver = make_solver("bpp")
+    x = benchmark(solver.solve, gram, rhs)
+    assert np.all(x >= 0)

@@ -1,0 +1,43 @@
+"""Table 3: per-iteration running times for k = 50 across datasets/algorithms/cores.
+
+Writes the modeled paper-scale grid (the direct analogue of the paper's
+Table 3) and a measured laptop-scale grid, and benchmarks one representative
+cell of the measured grid.
+"""
+
+from repro.perf.experiments import table3_grid
+from repro.perf.model import AlgorithmVariant
+from repro.perf.report import render_table3
+from repro.data.registry import measured_scale
+from repro.perf.experiments import measured_breakdown
+
+
+def test_table3_per_iteration_times(benchmark, write_artifact):
+    modeled = table3_grid(mode="modeled", k=50)
+    text_modeled = render_table3(modeled, k=50)
+
+    measured = table3_grid(
+        mode="measured", k=8, core_counts=[1, 2, 4], measured_iterations=2
+    )
+    text_measured = render_table3(measured, k=8)
+
+    write_artifact(
+        "table3_per_iteration_times.txt",
+        "== modeled at paper scale ==\n"
+        + text_modeled
+        + "\n\n== measured on the SPMD backend (scaled-down datasets, k=8) ==\n"
+        + text_measured,
+    )
+
+    # Headline orderings of the paper's Table 3 at 600 cores.
+    for dataset in ("DSYN", "SSYN", "Video", "Webbase"):
+        assert modeled["hpc2d"][dataset][600] < modeled["naive"][dataset][600]
+
+    # Benchmark one representative measured cell (SSYN, HPC-2D, 4 ranks).
+    spec = measured_scale("SSYN")
+
+    def cell():
+        return measured_breakdown(spec, AlgorithmVariant.HPC_2D, k=8, n_ranks=4, iterations=1)
+
+    breakdown = benchmark.pedantic(cell, rounds=1, iterations=1)
+    assert breakdown.total > 0

@@ -1,0 +1,34 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark writes its reproduction artifact (the figure/table series) to
+``benchmarks/results/`` so the numbers are inspectable after a
+``pytest benchmarks/ --benchmark-only`` run, and additionally times a
+representative computation with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def write_artifact(results_dir):
+    """Return a writer ``write(name, text)`` that stores a result artifact."""
+
+    def write(name: str, text: str) -> Path:
+        path = results_dir / name
+        path.write_text(text)
+        return path
+
+    return write

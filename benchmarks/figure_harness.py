@@ -1,0 +1,125 @@
+"""Common driver used by the per-figure benchmark files.
+
+Each of the paper's eight Figure-3 panels is one call to
+:func:`run_comparison_figure` or :func:`run_scaling_figure` with the panel's
+dataset; each call
+
+1. regenerates the panel's series with the analytic model at paper scale
+   (600 cores / the paper's core counts) and writes it to
+   ``benchmarks/results/``,
+2. runs the *measured* analogue — the same three algorithms, on the
+   scaled-down dataset, on the SPMD thread backend — and writes that series
+   next to it, and
+3. returns a pytest-benchmark callable that re-runs the most interesting
+   measured configuration so the harness records a real timing distribution.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, Tuple
+
+from repro.perf.experiments import (
+    ExperimentResult,
+    comparison_vs_k,
+    measured_breakdown,
+    strong_scaling,
+)
+from repro.perf.model import AlgorithmVariant
+from repro.perf.report import render_breakdown_table, to_csv
+from repro.data.registry import measured_scale
+
+
+def _headline_speedups(result: ExperimentResult) -> str:
+    lines = ["", "Naive / HPC-NMF-2D per-iteration speedups:"]
+    speedups = result.speedup(AlgorithmVariant.NAIVE, AlgorithmVariant.HPC_2D)
+    for (k, p), ratio in sorted(speedups.items()):
+        lines.append(f"  k={k:>3}  p={p:>4}  speedup={ratio:5.2f}x")
+    return "\n".join(lines)
+
+
+def run_comparison_figure(
+    figure: str,
+    dataset: str,
+    write_artifact: Callable[[str, str], object],
+    measured_ks: Sequence[int] = (2, 4, 8),
+    measured_ranks: int = 4,
+) -> Tuple[Callable[[], object], str]:
+    """Regenerate one 'comparison vs k' panel (Figure 3 a/c/e/g).
+
+    Returns ``(benchmark_callable, summary_text)``.
+    """
+    modeled = comparison_vs_k(dataset, mode="modeled")
+    measured = comparison_vs_k(
+        dataset,
+        mode="measured",
+        ks=list(measured_ks),
+        cores=measured_ranks,
+        measured_iterations=2,
+    )
+    text = "\n\n".join(
+        [
+            f"Figure {figure}: {dataset} comparison (per-iteration seconds)",
+            "== modeled at paper scale (600 cores) ==",
+            render_breakdown_table(modeled, x_axis="k"),
+            _headline_speedups(modeled),
+            "== measured on the SPMD backend (scaled-down dataset) ==",
+            render_breakdown_table(measured, x_axis="k"),
+            _headline_speedups(measured),
+        ]
+    )
+    write_artifact(f"fig{figure}_{dataset.lower()}_comparison.txt", text)
+    write_artifact(f"fig{figure}_{dataset.lower()}_comparison_modeled.csv", to_csv(modeled))
+    write_artifact(f"fig{figure}_{dataset.lower()}_comparison_measured.csv", to_csv(measured))
+
+    spec = measured_scale(dataset)
+
+    def benchmark_target():
+        return measured_breakdown(
+            spec, AlgorithmVariant.HPC_2D, k=max(measured_ks), n_ranks=measured_ranks,
+            iterations=1,
+        )
+
+    return benchmark_target, text
+
+
+def run_scaling_figure(
+    figure: str,
+    dataset: str,
+    write_artifact: Callable[[str, str], object],
+    measured_rank_counts: Sequence[int] = (1, 2, 4),
+    measured_k: int = 8,
+) -> Tuple[Callable[[], object], str]:
+    """Regenerate one 'strong scaling' panel (Figure 3 b/d/f/h)."""
+    modeled = strong_scaling(dataset, mode="modeled", k=50)
+    measured = strong_scaling(
+        dataset,
+        mode="measured",
+        k=measured_k,
+        core_counts=list(measured_rank_counts),
+        measured_iterations=2,
+    )
+    text = "\n\n".join(
+        [
+            f"Figure {figure}: {dataset} strong scaling (per-iteration seconds, k=50 modeled)",
+            "== modeled at paper scale ==",
+            render_breakdown_table(modeled, x_axis="p"),
+            "== measured on the SPMD backend (scaled-down dataset) ==",
+            render_breakdown_table(measured, x_axis="p"),
+        ]
+    )
+    write_artifact(f"fig{figure}_{dataset.lower()}_scaling.txt", text)
+    write_artifact(f"fig{figure}_{dataset.lower()}_scaling_modeled.csv", to_csv(modeled))
+    write_artifact(f"fig{figure}_{dataset.lower()}_scaling_measured.csv", to_csv(measured))
+
+    spec = measured_scale(dataset)
+
+    def benchmark_target():
+        return measured_breakdown(
+            spec,
+            AlgorithmVariant.HPC_2D,
+            k=min(measured_k, 8),
+            n_ranks=max(measured_rank_counts),
+            iterations=1,
+        )
+
+    return benchmark_target, text

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Community detection on a directed graph with NMF (the paper's Webbase use case).
+
+"The NMF output of this directed graph will help us understand clusters in
+graphs" (§6.1.1).  This example builds a directed graph with planted
+communities plus power-law background edges, factorizes its sparse adjacency
+matrix with HPC-NMF, and reads cluster assignments off the factors.
+
+Run with::
+
+    python examples/graph_clustering.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro import parallel_nmf
+from repro.data.webgraph import degree_statistics, web_graph_matrix
+
+N_NODES = 1_200
+N_COMMUNITIES = 4
+INTRA_EDGES_PER_NODE = 8
+BACKGROUND_EDGES = 2_000
+
+
+def make_community_graph(seed: int = 0):
+    """A directed graph with planted communities plus web-like background noise."""
+    rng = np.random.default_rng(seed)
+    community = rng.integers(0, N_COMMUNITIES, size=N_NODES)
+    rows, cols = [], []
+    # Dense-ish connectivity inside each community.
+    for node in range(N_NODES):
+        members = np.flatnonzero(community == community[node])
+        targets = rng.choice(members, size=min(INTRA_EDGES_PER_NODE, members.size), replace=False)
+        for t in targets:
+            if t != node:
+                rows.append(node)
+                cols.append(t)
+    intra = sp.coo_matrix((np.ones(len(rows)), (rows, cols)), shape=(N_NODES, N_NODES))
+    # Power-law background edges across communities (the "web" part).
+    background = web_graph_matrix(N_NODES, BACKGROUND_EDGES, seed=seed + 1)
+    A = (intra.tocsr() + background)
+    A.data[:] = 1.0
+    return A, community
+
+
+def main() -> None:
+    A, community = make_community_graph(seed=5)
+    stats = degree_statistics(A)
+    print("Directed graph with planted communities")
+    print(f"  nodes: {N_NODES}, edges: {A.nnz}, communities: {N_COMMUNITIES}")
+    print(f"  degree stats: mean out {stats['out_mean']:.1f}, max in {stats['in_max']}\n")
+
+    result = parallel_nmf(A, k=N_COMMUNITIES, n_ranks=4, algorithm="hpc2d",
+                          max_iters=30, seed=17)
+    print(f"HPC-NMF on 4 ranks: grid {result.grid_shape}, "
+          f"relative error {result.relative_error:.4f}\n")
+
+    # Cluster nodes by their dominant W component (out-link profile).
+    assignment = np.argmax(result.W, axis=1)
+
+    # Cluster quality: within each NMF cluster, how concentrated is the
+    # planted community label?
+    total_correct = 0
+    print("Cluster composition (NMF cluster -> dominant planted community):")
+    for cluster in range(N_COMMUNITIES):
+        nodes = np.flatnonzero(assignment == cluster)
+        if nodes.size == 0:
+            print(f"  cluster {cluster}: empty")
+            continue
+        counts = np.bincount(community[nodes], minlength=N_COMMUNITIES)
+        dominant = int(np.argmax(counts))
+        purity = counts[dominant] / nodes.size
+        total_correct += counts[dominant]
+        print(f"  cluster {cluster}: {nodes.size:4d} nodes, dominant community {dominant}, "
+              f"purity {purity:.0%}")
+
+    print(f"\nOverall clustering accuracy (best per-cluster mapping): "
+          f"{total_correct / N_NODES:.0%}")
+
+    # Compare against the Naive parallel algorithm: identical output, more
+    # communication — the reason HPC-NMF exists.
+    naive = parallel_nmf(A, k=N_COMMUNITIES, n_ranks=4, algorithm="naive",
+                         max_iters=30, seed=17)
+    words_hpc = sum(e["words"] for e in result.ledger_summary.values())
+    words_naive = sum(e["words"] for e in naive.ledger_summary.values())
+    print("\nCommunication comparison for the same factorization:")
+    print(f"  HPC-NMF-2D: {words_hpc:12.0f} words")
+    print(f"  Naive:      {words_naive:12.0f} words "
+          f"({words_naive / max(words_hpc, 1):.1f}x more)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Quickstart: factorize a small nonnegative matrix, sequentially and in parallel.
+
+Run with::
+
+    python examples/quickstart.py
+
+The script
+
+1. builds a small nonnegative matrix with planted rank-8 structure,
+2. factorizes it with the sequential ANLS reference (Algorithm 1 of the paper),
+3. factorizes it again with HPC-NMF (Algorithm 3) on 4 SPMD ranks, and
+4. shows that both produce the same factors and error, plus the per-task time
+   breakdown and communication ledger of the parallel run.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nmf, parallel_nmf
+from repro.data.lowrank import planted_lowrank
+
+
+def main() -> None:
+    rng_label = "planted rank-8 nonnegative matrix, 400 x 300"
+    A = planted_lowrank(400, 300, 8, seed=7, noise_std=0.01)
+    k = 8
+
+    print(f"Input: {rng_label}")
+    print(f"  shape: {A.shape}, density: dense, target rank k={k}\n")
+
+    # --- sequential reference (Algorithm 1) --------------------------------
+    sequential = nmf(A, k, max_iters=20, seed=42)
+    print("Sequential ANLS (Algorithm 1)")
+    print(sequential.summary())
+    print()
+
+    # --- HPC-NMF on 4 ranks (Algorithm 3) -----------------------------------
+    parallel = parallel_nmf(A, k, n_ranks=4, algorithm="hpc2d", max_iters=20, seed=42)
+    print("HPC-NMF on 4 SPMD ranks (Algorithm 3)")
+    print(parallel.summary())
+    print()
+
+    # --- the two agree -------------------------------------------------------
+    w_diff = float(np.max(np.abs(sequential.W - parallel.W)))
+    h_diff = float(np.max(np.abs(sequential.H - parallel.H)))
+    print("Agreement between sequential and parallel runs (same seed):")
+    print(f"  max |W_seq - W_par| = {w_diff:.2e}")
+    print(f"  max |H_seq - H_par| = {h_diff:.2e}")
+    print(f"  relative errors: {sequential.relative_error:.6f} vs {parallel.relative_error:.6f}")
+    print()
+
+    print("Communication recorded by the parallel run (words, per §5's analysis):")
+    for op, entry in parallel.ledger_summary.items():
+        print(f"  {op:>15}: {entry['calls']:>3} calls, {entry['words']:>12.1f} words")
+
+
+if __name__ == "__main__":
+    main()

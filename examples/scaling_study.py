@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Scaling study: regenerate the paper's evaluation tables from the command line.
+
+Prints, for any of the paper's four datasets,
+
+* the Figure-3-style comparison (per-iteration time vs k at 600 cores) and
+  strong-scaling series from the analytic Edison model, and
+* a measured comparison run on this machine's SPMD backend with the
+  scaled-down dataset.
+
+Run with::
+
+    python examples/scaling_study.py                # all datasets, modeled only
+    python examples/scaling_study.py SSYN --measured
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.perf.experiments import comparison_vs_k, strong_scaling, table3_grid
+from repro.perf.model import AlgorithmVariant
+from repro.perf.report import render_breakdown_table, render_table3
+
+DATASETS = ("DSYN", "SSYN", "Video", "Webbase")
+
+
+def run_dataset(dataset: str, measured: bool) -> None:
+    print("=" * 78)
+    print(f"Dataset: {dataset}")
+    print("=" * 78)
+
+    comparison = comparison_vs_k(dataset, mode="modeled")
+    print(render_breakdown_table(comparison, x_axis="k"))
+    speedups = comparison.speedup(AlgorithmVariant.NAIVE, AlgorithmVariant.HPC_2D)
+    best = max(speedups.values())
+    print(f"\nLargest modeled Naive/HPC-2D speedup: {best:.2f}x "
+          f"(paper reports up to 4.4x on SSYN, k=10)\n")
+
+    scaling = strong_scaling(dataset, mode="modeled", k=50)
+    print(render_breakdown_table(scaling, x_axis="p"))
+    print()
+
+    if measured:
+        print("-- measured on this machine (scaled-down dataset, SPMD threads) --")
+        measured_result = comparison_vs_k(dataset, mode="measured", ks=[2, 4, 8], cores=4)
+        print(render_breakdown_table(measured_result, x_axis="k"))
+        print()
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("datasets", nargs="*", default=list(DATASETS),
+                        choices=list(DATASETS) + [[]],
+                        help="datasets to study (default: all four)")
+    parser.add_argument("--measured", action="store_true",
+                        help="also run the measured-mode comparison on this machine")
+    args = parser.parse_args()
+
+    datasets = args.datasets if args.datasets else list(DATASETS)
+    for dataset in datasets:
+        run_dataset(dataset, args.measured)
+
+    print("=" * 78)
+    print("Table 3 analogue (modeled at paper scale)")
+    print("=" * 78)
+    print(render_table3(table3_grid(mode="modeled", k=50), k=50))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Streaming background subtraction: incremental NMF over a live video feed.
+
+The paper's video scenario (§6.1.1) keeps only "the last minute or two of
+video ... from the live video camera" and updates the factorization as new
+frames arrive.  This example feeds the synthetic street scene frame by frame
+into :class:`repro.core.streaming.StreamingNMF` and reports, per frame, how
+much of the residual energy the moving objects carry — i.e. live moving-object
+detection without ever re-factorizing the whole window from scratch.
+
+Run with::
+
+    python examples/streaming_video.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.streaming import StreamingNMF
+from repro.data.video import VideoSceneConfig, video_matrix
+
+
+def main() -> None:
+    config = VideoSceneConfig(height=32, width=40, channels=3, frames=150,
+                              n_objects=3, seed=9)
+    A = video_matrix(config)
+    n_pixels, n_frames = A.shape
+    print("Streaming synthetic street scene")
+    print(f"  {n_frames} frames of {config.height}x{config.width} RGB "
+          f"({n_pixels} pixels per frame)")
+
+    model = StreamingNMF(
+        n_pixels=n_pixels,
+        k=5,
+        window=40,
+        refresh_every=10,
+        refresh_iters=2,
+        seed=1,
+    )
+
+    print(f"  sliding window: {model.window} frames, rank {model.k}, "
+          f"refresh every {model.refresh_every} frames\n")
+    print(f"{'frame':>6}  {'window err':>10}  {'residual energy %':>18}")
+
+    checkpoints = set(range(9, n_frames, 30)) | {n_frames - 1}
+    for frame_idx in range(n_frames):
+        frame = A[:, frame_idx]
+        residual = model.push_frame(frame)
+        if frame_idx in checkpoints:
+            frame_energy = float(np.sum(frame**2))
+            resid_share = float(np.sum(residual**2)) / max(frame_energy, 1e-12)
+            print(f"{frame_idx:>6}  {model.window_error():>10.4f}  {resid_share:>17.1%}")
+
+    print("\nThe window error stays low and stable while the residual share "
+          "tracks how much of each frame is moving objects —")
+    print("the live analogue of the batch background subtraction example.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python3
+"""Background subtraction on a (synthetic) street-scene video with NMF.
+
+This is the paper's motivating dense use case (§6.1.1): reshape every video
+frame into a column, factorize the resulting tall-and-skinny matrix, and read
+the rank-k reconstruction as the static background — the moving objects stay
+in the residual.
+
+Run with::
+
+    python examples/video_background_subtraction.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import parallel_nmf
+from repro.data.video import VideoSceneConfig, background_foreground_split, video_matrix
+
+
+def main() -> None:
+    config = VideoSceneConfig(height=48, width=64, channels=3, frames=120, n_objects=5, seed=3)
+    A = video_matrix(config)
+    m, n = A.shape
+    print("Synthetic street-scene video")
+    print(f"  frames: {config.frames} of {config.height}x{config.width} RGB")
+    print(f"  frames-as-columns matrix: {m} x {n} (tall and skinny, as in the paper)\n")
+
+    # The tall-and-skinny shape makes the paper's grid rule pick a 1D grid.
+    result = parallel_nmf(A, k=6, n_ranks=4, algorithm="hpc2d", max_iters=25, seed=11)
+    print(f"Processor grid chosen by the §5 rule: {result.grid_shape} (1D, as expected)")
+    print(f"Relative error of the rank-6 background model: {result.relative_error:.4f}\n")
+
+    background, foreground = background_foreground_split(A, result.W, result.H)
+
+    # Energy split: the background model should capture most of the signal,
+    # and the foreground residual should be concentrated on few pixels.
+    total = np.linalg.norm(A)
+    print("Energy split")
+    print(f"  ||A||_F              = {total:10.2f}")
+    print(f"  ||background||_F     = {np.linalg.norm(background):10.2f}")
+    print(f"  ||foreground||_F     = {np.linalg.norm(foreground):10.2f}")
+
+    # Foreground sparsity: fraction of pixels carrying 90% of residual energy.
+    residual_energy = np.sort((foreground**2).ravel())[::-1]
+    cumulative = np.cumsum(residual_energy) / residual_energy.sum()
+    pixels_for_90 = int(np.searchsorted(cumulative, 0.9)) + 1
+    fraction = pixels_for_90 / foreground.size
+    print(f"\n90% of the foreground energy lives in {fraction:.2%} of the pixels")
+    print("(moving rectangles only), confirming the background/foreground separation.")
+
+    # Per-frame detection: frames where objects are present have larger residual.
+    per_frame = np.linalg.norm(foreground, axis=0)
+    print(f"\nPer-frame residual norm: min={per_frame.min():.2f}, "
+          f"median={np.median(per_frame):.2f}, max={per_frame.max():.2f}")
+    print("\nPer-task time breakdown of the parallel factorization:")
+    for category, seconds in sorted(result.breakdown.as_dict().items()):
+        if seconds > 0:
+            print(f"  {category:>14}: {seconds:.3f} s")
+
+
+if __name__ == "__main__":
+    main()

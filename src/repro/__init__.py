@@ -1,0 +1,73 @@
+"""repro — reproduction of the PPoPP 2016 HPC-NMF paper.
+
+This package reimplements, in pure Python (numpy/scipy), the system described
+in "A High-Performance Parallel Algorithm for Nonnegative Matrix
+Factorization" (Kannan, Ballard, Park; PPoPP 2016):
+
+* an MPI-like SPMD communication substrate (:mod:`repro.comm`) with the
+  collectives the paper relies on (all-gather, reduce-scatter, all-reduce) and
+  an alpha-beta-gamma cost model,
+* distributed dense/sparse matrices on 1D and 2D processor grids
+  (:mod:`repro.dist`),
+* the local nonnegative-least-squares solvers the ANLS framework plugs in —
+  Block Principal Pivoting, Multiplicative Update, HALS and more
+  (:mod:`repro.nls`),
+* the paper's algorithms: sequential ANLS (Algorithm 1), Naive-Parallel-NMF
+  (Algorithm 2) and HPC-NMF (Algorithm 3) in :mod:`repro.core`,
+* dataset generators matching the paper's evaluation (:mod:`repro.data`), and
+* the performance model and experiment harness that regenerate every table
+  and figure of the evaluation section (:mod:`repro.perf`).
+
+Quickstart
+----------
+>>> import numpy as np
+>>> from repro import nmf
+>>> A = np.abs(np.random.default_rng(0).standard_normal((200, 150)))
+>>> result = nmf(A, k=10, max_iters=20, seed=0)
+>>> result.W.shape, result.H.shape
+((200, 10), (10, 150))
+
+The top-level entry points (:func:`repro.nmf`, :func:`repro.parallel_nmf`,
+:class:`repro.NMFConfig`, :class:`repro.NMFResult`) are re-exported lazily so
+that importing a subpackage (for example :mod:`repro.comm` in an SPMD worker)
+does not pull in the whole library.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "nmf",
+    "parallel_nmf",
+    "NMFConfig",
+    "NMFResult",
+    "__version__",
+]
+
+_LAZY_EXPORTS = {
+    "nmf": ("repro.core.api", "nmf"),
+    "parallel_nmf": ("repro.core.api", "parallel_nmf"),
+    "NMFConfig": ("repro.core.config", "NMFConfig"),
+    "NMFResult": ("repro.core.result", "NMFResult"),
+}
+
+
+def __getattr__(name: str) -> Any:
+    """Lazily resolve the top-level convenience exports."""
+    try:
+        module_name, attr = _LAZY_EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}") from None
+    import importlib
+
+    module = importlib.import_module(module_name)
+    value = getattr(module, attr)
+    globals()[name] = value
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_LAZY_EXPORTS))

@@ -1,0 +1,135 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Three subcommands cover the common workflows:
+
+* ``factorize`` — run NMF (sequential or parallel) on a registered dataset or
+  an ``.npy``/``.npz`` file and print the result summary;
+* ``experiment`` — regenerate one of the paper's figures/tables (modeled at
+  paper scale, optionally measured at laptop scale);
+* ``datasets`` — list the registered datasets and their dimensions.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.api import nmf, parallel_nmf
+from repro.data.registry import DATASETS, load_dataset
+from repro.perf.experiments import comparison_vs_k, strong_scaling, table3_grid
+from repro.perf.report import render_breakdown_table, render_table3, to_csv
+
+
+def _load_input(name_or_path: str):
+    """Load a registered dataset by name, or a matrix from an .npy/.npz file."""
+    if name_or_path in DATASETS:
+        return load_dataset(name_or_path)
+    path = Path(name_or_path)
+    if not path.exists():
+        raise SystemExit(
+            f"'{name_or_path}' is neither a registered dataset ({', '.join(sorted(DATASETS))}) "
+            "nor an existing file"
+        )
+    if path.suffix == ".npz":
+        try:
+            return sp.load_npz(path)
+        except Exception:
+            with np.load(path) as data:
+                return data[next(iter(data.files))]
+    return np.load(path)
+
+
+def _cmd_factorize(args: argparse.Namespace) -> int:
+    A = _load_input(args.input)
+    if args.ranks <= 1 and args.algorithm == "sequential":
+        result = nmf(A, args.k, max_iters=args.iters, solver=args.solver, seed=args.seed)
+    else:
+        result = parallel_nmf(
+            A,
+            args.k,
+            n_ranks=max(args.ranks, 1),
+            algorithm=args.algorithm,
+            max_iters=args.iters,
+            solver=args.solver,
+            seed=args.seed,
+        )
+    print(result.summary())
+    if args.save:
+        np.savez(args.save, W=result.W, H=result.H,
+                 relative_error=result.relative_error)
+        print(f"factors written to {args.save}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    if args.name == "table3":
+        table = table3_grid(mode=args.mode, k=50 if args.mode == "modeled" else 8)
+        print(render_table3(table))
+        return 0
+    dataset = args.dataset or "SSYN"
+    if args.name == "comparison":
+        result = comparison_vs_k(dataset, mode=args.mode)
+        print(render_breakdown_table(result, x_axis="k"))
+    elif args.name == "scaling":
+        result = strong_scaling(dataset, mode=args.mode)
+        print(render_breakdown_table(result, x_axis="p"))
+    else:  # pragma: no cover - argparse choices prevent this
+        raise SystemExit(f"unknown experiment {args.name!r}")
+    if args.csv:
+        Path(args.csv).write_text(to_csv(result))
+        print(f"\nCSV written to {args.csv}")
+    return 0
+
+
+def _cmd_datasets(_args: argparse.Namespace) -> int:
+    print(f"{'name':>16}  {'kind':>7}  {'m':>10}  {'n':>10}  {'nnz (est.)':>12}  description")
+    for name in sorted(DATASETS):
+        spec = DATASETS[name]
+        print(
+            f"{name:>16}  {spec.kind:>7}  {spec.m:>10}  {spec.n:>10}"
+            f"  {spec.nnz_estimate:>12.3g}  {spec.description}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fact = sub.add_parser("factorize", help="run NMF on a dataset or matrix file")
+    fact.add_argument("input", help="registered dataset name or .npy/.npz file")
+    fact.add_argument("-k", type=int, required=True, help="target rank")
+    fact.add_argument("--ranks", type=int, default=1, help="number of SPMD ranks")
+    fact.add_argument("--algorithm", default="hpc2d",
+                      choices=["sequential", "naive", "hpc1d", "hpc2d"])
+    fact.add_argument("--solver", default="bpp",
+                      choices=["bpp", "mu", "hals", "pgrad", "admm"])
+    fact.add_argument("--iters", type=int, default=20, help="outer iterations")
+    fact.add_argument("--seed", type=int, default=42)
+    fact.add_argument("--save", help="write factors to this .npz path")
+    fact.set_defaults(func=_cmd_factorize)
+
+    exp = sub.add_parser("experiment", help="regenerate a paper figure or table")
+    exp.add_argument("name", choices=["comparison", "scaling", "table3"])
+    exp.add_argument("--dataset", choices=["DSYN", "SSYN", "Video", "Webbase"])
+    exp.add_argument("--mode", default="modeled", choices=["modeled", "measured"])
+    exp.add_argument("--csv", help="also write the series to this CSV path")
+    exp.set_defaults(func=_cmd_experiment)
+
+    data = sub.add_parser("datasets", help="list registered datasets")
+    data.set_defaults(func=_cmd_datasets)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""MPI-like SPMD communication substrate.
+
+The paper's implementation is C++/MPI.  This package provides the equivalent
+substrate in pure Python:
+
+* :class:`~repro.comm.backend.ThreadBackend` runs one Python thread per rank
+  executing the same per-rank (SPMD) program, exchanging numpy buffers through
+  shared memory;
+* :class:`~repro.comm.communicator.Comm` exposes the MPI operations the
+  paper's algorithms use — ``send``/``recv``, ``bcast``, ``allgather``,
+  ``reduce_scatter``, ``allreduce``, ``barrier``, ``split`` — with
+  numpy-buffer semantics (mirroring mpi4py's uppercase, buffer-based API);
+* :mod:`~repro.comm.collectives` re-implements the textbook point-to-point
+  algorithms for these collectives (ring all-gather, recursive halving
+  reduce-scatter, recursive doubling all-reduce) whose costs are exactly the
+  alpha-beta-gamma expressions quoted in §2.3 of the paper;
+* :mod:`~repro.comm.cost` implements that alpha-beta-gamma model and a
+  per-rank ledger of words/messages/flops;
+* :mod:`~repro.comm.grid` provides the ``pr × pc`` processor grid with row and
+  column sub-communicators used by Algorithm 3;
+* :mod:`~repro.comm.profiler` accumulates wall-clock time into the six task
+  categories of §6.3 (MM, NLS, Gram, All-Gather, Reduce-Scatter, All-Reduce).
+"""
+
+from repro.comm.backend import ThreadBackend, run_spmd
+from repro.comm.communicator import Comm, ReduceOp
+from repro.comm.cost import AlphaBetaGamma, CostLedger, CollectiveCost, EDISON
+from repro.comm.grid import ProcessGrid, choose_grid
+from repro.comm.profiler import TaskCategory, Profiler, TimeBreakdown
+
+__all__ = [
+    "ThreadBackend",
+    "run_spmd",
+    "Comm",
+    "ReduceOp",
+    "AlphaBetaGamma",
+    "CostLedger",
+    "CollectiveCost",
+    "EDISON",
+    "ProcessGrid",
+    "choose_grid",
+    "TaskCategory",
+    "Profiler",
+    "TimeBreakdown",
+]

@@ -1,0 +1,239 @@
+"""Textbook point-to-point algorithms for the MPI collectives (paper §2.3).
+
+The paper's cost analysis assumes the *optimal* collective algorithms — ring
+or recursive-doubling all-gather (``alpha log p + beta (p-1)/p n``),
+recursive-halving reduce-scatter (``alpha log p + (beta+gamma) (p-1)/p n``)
+and the reduce-scatter + all-gather all-reduce
+(``2 alpha log p + (2 beta + gamma)(p-1)/p n``); see Chan et al. and
+Thakur et al. (the paper's references [2, 18]).
+
+The native collectives of :class:`~repro.comm.communicator.Comm` use shared
+memory directly; the functions here re-implement the same collectives using
+only ``send``/``recv`` so that
+
+* the cost structure the model charges (number of rounds, bytes per round)
+  exists in executable form and can be asserted in tests, and
+* the substrate has a faithful analogue of what an MPI library actually does
+  on a distributed-memory machine.
+
+All functions are SPMD: every rank of ``comm`` must call them collectively.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.comm.communicator import Comm, ReduceOp
+from repro.util.errors import CommunicatorError
+
+
+def _is_power_of_two(x: int) -> bool:
+    return x > 0 and (x & (x - 1)) == 0
+
+
+def ring_allgather(comm: Comm, array: np.ndarray) -> List[np.ndarray]:
+    """All-gather via the bidirectional ring (bandwidth-optimal) algorithm.
+
+    Runs ``p - 1`` rounds; in round ``t`` each rank forwards the block it
+    received in round ``t-1`` to its right neighbour.  Total volume per rank
+    is ``(p-1)/p * n`` words, matching the cost model (the latency term is
+    ``p - 1`` messages rather than ``log p``; MPI libraries switch to
+    recursive doubling for small messages, which we mirror in
+    :func:`recursive_doubling_allgather`).
+    """
+    array = np.asarray(array)
+    p, r = comm.size, comm.rank
+    blocks: List[Optional[np.ndarray]] = [None] * p
+    blocks[r] = array
+    if p == 1:
+        return [array]
+    right = (r + 1) % p
+    left = (r - 1) % p
+    send_idx = r
+    for step in range(p - 1):
+        # Even ranks send first to avoid a send/recv cycle deadlock on
+        # rendezvous semantics; our mailboxes are buffered so either order
+        # works, but we keep the canonical structure.
+        comm.send(blocks[send_idx], dest=right, tag=step)
+        recv_idx = (r - 1 - step) % p
+        blocks[recv_idx] = np.asarray(comm.recv(source=left, tag=step))
+        send_idx = recv_idx
+    assert all(b is not None for b in blocks)
+    return [np.asarray(b) for b in blocks]
+
+
+def recursive_doubling_allgather(comm: Comm, array: np.ndarray) -> List[np.ndarray]:
+    """All-gather via recursive doubling (``log2 p`` rounds, power-of-two ranks).
+
+    In round ``t`` each rank exchanges its current collection with the partner
+    at distance ``2^t``; after ``log2 p`` rounds everyone has every block.
+    """
+    p, r = comm.size, comm.rank
+    if p == 1:
+        return [np.asarray(array)]
+    if not _is_power_of_two(p):
+        raise CommunicatorError("recursive doubling all-gather requires a power-of-two size")
+    owned = {r: np.asarray(array)}
+    distance = 1
+    round_idx = 0
+    while distance < p:
+        partner = r ^ distance
+        payload = sorted(owned.items())
+        comm.send(payload, dest=partner, tag=round_idx)
+        incoming = comm.recv(source=partner, tag=round_idx)
+        for idx, block in incoming:
+            owned[idx] = np.asarray(block)
+        distance <<= 1
+        round_idx += 1
+    return [owned[i] for i in range(p)]
+
+
+def recursive_halving_reduce_scatter(
+    comm: Comm,
+    array: np.ndarray,
+    counts: Optional[Sequence[int]] = None,
+    op: ReduceOp = ReduceOp.SUM,
+) -> np.ndarray:
+    """Reduce-scatter via recursive halving (``log2 p`` rounds, power-of-two ranks).
+
+    In round ``t`` each rank exchanges half of its active range with the
+    partner at distance ``p / 2^(t+1)`` and reduces the received half into its
+    own; after ``log2 p`` rounds each rank holds the fully reduced block it is
+    responsible for.  The volume per rank is ``(p-1)/p * n`` words.
+    """
+    array = np.asarray(array, dtype=np.float64)
+    p, r = comm.size, comm.rank
+    length = array.shape[0]
+    if counts is None:
+        base, rem = divmod(length, p)
+        counts = [base + (1 if i < rem else 0) for i in range(p)]
+    counts = list(counts)
+    if len(counts) != p or sum(counts) != length:
+        raise CommunicatorError("counts must have one entry per rank and sum to the axis length")
+    if p == 1:
+        return array.copy()
+    if not _is_power_of_two(p):
+        raise CommunicatorError("recursive halving reduce-scatter requires a power-of-two size")
+
+    offsets = np.concatenate(([0], np.cumsum(counts))).astype(int)
+    work = array.copy()
+    # Active range of *block indices* this rank is still responsible for.
+    lo_blk, hi_blk = 0, p
+    distance = p // 2
+    round_idx = 0
+    while distance >= 1:
+        mid_blk = lo_blk + (hi_blk - lo_blk) // 2
+        partner = r ^ distance
+        mine_is_low = r < partner
+        if mine_is_low:
+            keep_lo, keep_hi = lo_blk, mid_blk
+            send_lo, send_hi = mid_blk, hi_blk
+        else:
+            keep_lo, keep_hi = mid_blk, hi_blk
+            send_lo, send_hi = lo_blk, mid_blk
+        send_slice = slice(offsets[send_lo], offsets[send_hi])
+        keep_slice = slice(offsets[keep_lo], offsets[keep_hi])
+        comm.send(work[send_slice], dest=partner, tag=round_idx)
+        incoming = np.asarray(comm.recv(source=partner, tag=round_idx))
+        work[keep_slice] = op.combine([work[keep_slice], incoming])
+        lo_blk, hi_blk = keep_lo, keep_hi
+        distance //= 2
+        round_idx += 1
+    assert hi_blk - lo_blk == 1 and lo_blk == r
+    return work[offsets[r]: offsets[r + 1]].copy()
+
+
+def recursive_doubling_allreduce(
+    comm: Comm, array: np.ndarray, op: ReduceOp = ReduceOp.SUM
+) -> np.ndarray:
+    """All-reduce via recursive doubling (``log2 p`` rounds, power-of-two ranks)."""
+    array = np.asarray(array, dtype=np.float64)
+    p, r = comm.size, comm.rank
+    if p == 1:
+        return array.copy()
+    if not _is_power_of_two(p):
+        raise CommunicatorError("recursive doubling all-reduce requires a power-of-two size")
+    work = array.copy()
+    distance = 1
+    round_idx = 0
+    while distance < p:
+        partner = r ^ distance
+        comm.send(work, dest=partner, tag=round_idx)
+        incoming = np.asarray(comm.recv(source=partner, tag=round_idx))
+        # Reduce in a canonical (lower-rank-first) order so every rank computes
+        # bitwise-identical results regardless of its position.
+        if r < partner:
+            work = op.combine([work, incoming])
+        else:
+            work = op.combine([incoming, work])
+        distance <<= 1
+        round_idx += 1
+    return work
+
+
+def reduce_scatter_allgather_allreduce(
+    comm: Comm, array: np.ndarray, op: ReduceOp = ReduceOp.SUM
+) -> np.ndarray:
+    """All-reduce composed of reduce-scatter + all-gather (Rabenseifner's algorithm).
+
+    This is the large-message algorithm whose cost,
+    ``2 alpha log p + (2 beta + gamma)(p-1)/p n``, is exactly the all-reduce
+    expression quoted in §2.3 of the paper.
+    """
+    array = np.asarray(array, dtype=np.float64)
+    p = comm.size
+    if p == 1:
+        return array.copy()
+    original_shape = array.shape
+    flat = array.reshape(-1)
+    # Pad so the vector splits evenly into p blocks (padding is reduced too,
+    # then discarded; this only affects constants, not the asymptotic cost).
+    base, rem = divmod(flat.size, p)
+    padded_len = flat.size if rem == 0 else (base + 1) * p
+    padded = np.zeros(padded_len, dtype=np.float64)
+    padded[: flat.size] = flat
+    counts = [padded_len // p] * p
+    my_block = recursive_halving_reduce_scatter(comm, padded, counts=counts, op=op)
+    blocks = ring_allgather(comm, my_block)
+    full = np.concatenate(blocks)[: flat.size]
+    return full.reshape(original_shape)
+
+
+def binomial_broadcast(comm: Comm, array: Optional[np.ndarray], root: int = 0) -> np.ndarray:
+    """Broadcast via a binomial tree (``log2 p`` rounds, MPICH's small-message scheme).
+
+    Only the root needs to supply ``array``; every rank returns the broadcast
+    value.  Works for any communicator size (not just powers of two).
+    """
+    p, r = comm.size, comm.rank
+    if p == 1:
+        assert array is not None
+        return np.asarray(array)
+    # Work in a rotated rank space where the root is virtual rank 0.
+    vrank = (r - root) % p
+    data = np.asarray(array) if vrank == 0 else None
+
+    # Phase 1: a non-root rank receives from the parent identified by clearing
+    # its lowest set bit (in virtual rank space).
+    mask = 1
+    while mask < p:
+        if vrank & mask:
+            parent_v = vrank ^ mask
+            parent = (parent_v + root) % p
+            data = np.asarray(comm.recv(source=parent, tag=0))
+            break
+        mask <<= 1
+    # Phase 2: forward to children at increasing distances below the bit where
+    # phase 1 stopped.
+    mask >>= 1
+    while mask > 0:
+        child_v = vrank | mask
+        if child_v != vrank and child_v < p:
+            child = (child_v + root) % p
+            assert data is not None
+            comm.send(data, dest=child, tag=0)
+        mask >>= 1
+    assert data is not None
+    return data

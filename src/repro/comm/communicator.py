@@ -1,0 +1,381 @@
+"""The MPI-like communicator used by the parallel NMF algorithms.
+
+:class:`Comm` exposes the subset of MPI that Algorithms 2 and 3 of the paper
+need — point-to-point ``send``/``recv``, ``barrier``, ``bcast``, ``gather``,
+``scatter``, ``allgather`` (plus a concatenating ``allgatherv``),
+``reduce_scatter``, ``allreduce`` and ``split`` — with numpy-buffer semantics
+matching mpi4py's uppercase, buffer-based API (the fast path the mpi4py
+tutorial recommends for array data).
+
+Collectives follow a deposit / barrier / compute / barrier protocol on the
+shared slots of the group's :class:`~repro.comm.backend.SharedGroupState`:
+every rank deposits its contribution, waits, reads the contributions of all
+ranks to compute its own result, and waits again so no rank can start the
+next collective while a peer is still reading.  Reductions are evaluated in
+rank order on every rank, so all ranks observe bitwise-identical results
+(deterministic independent of thread scheduling).
+
+Each communicator can carry a :class:`~repro.comm.cost.CostLedger`; every
+collective then records the number of words and messages the *optimal* MPI
+algorithm for that collective would move (the §2.3 expressions), which is the
+quantity the paper's analysis — and our tests — reason about.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.comm.backend import SharedGroupState
+from repro.comm.cost import CostLedger
+from repro.util.errors import CommunicatorError
+
+
+class ReduceOp(str, enum.Enum):
+    """Reduction operators supported by the reduce-style collectives."""
+
+    SUM = "sum"
+    MAX = "max"
+    MIN = "min"
+    PROD = "prod"
+
+    def combine(self, arrays: Sequence[np.ndarray]) -> np.ndarray:
+        """Reduce ``arrays`` elementwise in rank order (deterministic)."""
+        if not arrays:
+            raise CommunicatorError("cannot reduce an empty sequence")
+        stack = [np.asarray(a) for a in arrays]
+        out = stack[0].astype(np.result_type(*stack), copy=True)
+        for a in stack[1:]:
+            if self is ReduceOp.SUM:
+                out += a
+            elif self is ReduceOp.MAX:
+                np.maximum(out, a, out=out)
+            elif self is ReduceOp.MIN:
+                np.minimum(out, a, out=out)
+            elif self is ReduceOp.PROD:
+                out *= a
+        return out
+
+
+def _nwords(obj: Any) -> float:
+    """Approximate size of a payload in 8-byte words (for the cost ledger)."""
+    if isinstance(obj, np.ndarray):
+        return obj.size * obj.itemsize / 8.0
+    if isinstance(obj, (list, tuple)):
+        return float(sum(_nwords(o) for o in obj))
+    if isinstance(obj, (int, float, np.integer, np.floating)):
+        return 1.0
+    return 1.0
+
+
+class Comm:
+    """A communicator over a fixed group of SPMD ranks.
+
+    Instances are created by :class:`~repro.comm.backend.ThreadBackend` (the
+    world communicator handed to the SPMD program) and by :meth:`split`
+    (row/column communicators of the processor grid).
+    """
+
+    def __init__(
+        self,
+        state: SharedGroupState,
+        rank: int,
+        group_ranks: Tuple[int, ...],
+        parent: Optional["Comm"] = None,
+        ledger: Optional[CostLedger] = None,
+    ):
+        if not 0 <= rank < state.size:
+            raise CommunicatorError(f"rank {rank} out of range for size {state.size}")
+        self._state = state
+        self._rank = rank
+        self._group_ranks = group_ranks
+        self._parent = parent
+        self._split_count = 0
+        self._ledger = ledger
+
+    # -- identity ----------------------------------------------------------
+    @property
+    def rank(self) -> int:
+        """This process's rank within the communicator (0-based)."""
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        """Number of ranks in the communicator."""
+        return self._state.size
+
+    @property
+    def group_ranks(self) -> Tuple[int, ...]:
+        """World ranks of the members of this communicator, in local-rank order."""
+        return self._group_ranks
+
+    def __repr__(self) -> str:
+        return f"Comm(rank={self.rank}, size={self.size})"
+
+    @property
+    def ledger(self) -> Optional[CostLedger]:
+        """The attached cost ledger; falls back to the parent communicator's.
+
+        The dynamic lookup means a ledger attached to the world communicator
+        is automatically used by the row/column sub-communicators the process
+        grid created earlier, and that setup-phase collectives (before the
+        ledger is attached) are not counted — only the per-iteration
+        communication the paper's analysis talks about.
+        """
+        if self._ledger is not None:
+            return self._ledger
+        if self._parent is not None:
+            return self._parent.ledger
+        return None
+
+    def attach_ledger(self, ledger: Optional[CostLedger]) -> None:
+        """Attach (or detach, with None) a cost ledger recording collective volume."""
+        self._ledger = ledger
+
+    def _record(self, operation: str, n_words: float) -> None:
+        ledger = self.ledger
+        if ledger is not None:
+            ledger.record(operation, self.size, n_words)
+
+    # -- synchronization ---------------------------------------------------
+    def barrier(self) -> None:
+        """Block until all ranks of this communicator reach the barrier."""
+        if self.size > 1:
+            self._state.wait()
+
+    # -- point-to-point ----------------------------------------------------
+    def send(self, obj: Any, dest: int, tag: int = 0) -> None:
+        """Send ``obj`` to local rank ``dest`` (buffered, non-blocking)."""
+        if not 0 <= dest < self.size:
+            raise CommunicatorError(f"dest {dest} out of range for size {self.size}")
+        if dest == self.rank:
+            raise CommunicatorError("send to self is not supported; use local data directly")
+        payload = obj.copy() if isinstance(obj, np.ndarray) else obj
+        self._state.mailbox(self.rank, dest).put((tag, payload))
+        self._record("send", _nwords(obj))
+
+    def recv(self, source: int, tag: int = 0, timeout: float = 60.0) -> Any:
+        """Receive the next message from ``source`` with matching ``tag``."""
+        if not 0 <= source < self.size:
+            raise CommunicatorError(f"source {source} out of range for size {self.size}")
+        box = self._state.mailbox(source, self.rank)
+        try:
+            got_tag, payload = box.get(timeout=timeout)
+        except Exception as exc:  # queue.Empty
+            raise CommunicatorError(
+                f"rank {self.rank}: timed out waiting for message from {source} (tag {tag})"
+            ) from exc
+        if got_tag != tag:
+            raise CommunicatorError(
+                f"rank {self.rank}: expected tag {tag} from {source}, got {got_tag}"
+            )
+        return payload
+
+    def sendrecv(self, obj: Any, dest: int, source: int, tag: int = 0) -> Any:
+        """Combined send to ``dest`` and receive from ``source`` (deadlock-free)."""
+        self.send(obj, dest, tag=tag)
+        return self.recv(source, tag=tag)
+
+    # -- object collectives (pickle-style, small metadata only) -------------
+    def allgather_object(self, obj: Any) -> List[Any]:
+        """Gather one arbitrary Python object from every rank (returned in rank order)."""
+        if self.size == 1:
+            return [obj]
+        self._state.slots[self.rank] = obj
+        self._state.wait()
+        out = list(self._state.slots)
+        self._state.wait()
+        self._record("all_gather", _nwords(obj) * self.size)
+        return out
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        """Broadcast ``obj`` from ``root`` to all ranks."""
+        if self.size == 1:
+            return obj
+        if self.rank == root:
+            self._state.slots[root] = obj
+        self._state.wait()
+        value = self._state.slots[root]
+        if isinstance(value, np.ndarray) and self.rank != root:
+            value = value.copy()
+        self._state.wait()
+        self._record("broadcast", _nwords(value))
+        return value
+
+    # -- array collectives ---------------------------------------------------
+    def allgather(self, array: np.ndarray) -> List[np.ndarray]:
+        """All-gather: every rank receives the list of all ranks' arrays."""
+        array = np.asarray(array)
+        if self.size == 1:
+            return [array]
+        self._state.slots[self.rank] = array
+        self._state.wait()
+        gathered = [np.asarray(self._state.slots[r]).copy() if r != self.rank else array
+                    for r in range(self.size)]
+        self._state.wait()
+        total_words = sum(_nwords(g) for g in gathered)
+        self._record("all_gather", total_words)
+        return gathered
+
+    def allgatherv(self, array: np.ndarray, axis: int = 0) -> np.ndarray:
+        """All-gather and concatenate along ``axis`` (blocks may differ in size)."""
+        parts = self.allgather(np.asarray(array))
+        if self.size == 1:
+            return parts[0]
+        return np.concatenate(parts, axis=axis)
+
+    def gather(self, array: np.ndarray, root: int = 0) -> Optional[List[np.ndarray]]:
+        """Gather arrays on ``root``; other ranks receive ``None``."""
+        array = np.asarray(array)
+        if self.size == 1:
+            return [array]
+        self._state.slots[self.rank] = array
+        self._state.wait()
+        result = None
+        if self.rank == root:
+            result = [np.asarray(self._state.slots[r]).copy() for r in range(self.size)]
+        self._state.wait()
+        self._record("gather", _nwords(array) * self.size)
+        return result
+
+    def scatter(self, arrays: Optional[Sequence[np.ndarray]], root: int = 0) -> np.ndarray:
+        """Scatter a per-rank list from ``root``; returns this rank's element."""
+        if self.size == 1:
+            assert arrays is not None
+            return np.asarray(arrays[0])
+        if self.rank == root:
+            if arrays is None or len(arrays) != self.size:
+                raise CommunicatorError(
+                    f"root must provide exactly {self.size} arrays to scatter"
+                )
+            self._state.slots[root] = [np.asarray(a) for a in arrays]
+        self._state.wait()
+        mine = np.asarray(self._state.slots[root][self.rank]).copy()
+        self._state.wait()
+        self._record("scatter", _nwords(mine) * self.size)
+        return mine
+
+    def reduce(self, array: np.ndarray, root: int = 0, op: ReduceOp = ReduceOp.SUM
+               ) -> Optional[np.ndarray]:
+        """Reduce arrays elementwise onto ``root``; other ranks receive ``None``."""
+        array = np.asarray(array)
+        if self.size == 1:
+            return array.copy()
+        self._state.slots[self.rank] = array
+        self._state.wait()
+        result = None
+        if self.rank == root:
+            result = op.combine([np.asarray(self._state.slots[r]) for r in range(self.size)])
+        self._state.wait()
+        self._record("reduce", _nwords(array))
+        return result
+
+    def allreduce(self, array: np.ndarray, op: ReduceOp = ReduceOp.SUM) -> np.ndarray:
+        """All-reduce: every rank receives the elementwise reduction over ranks."""
+        array = np.asarray(array)
+        if self.size == 1:
+            return array.copy()
+        self._state.slots[self.rank] = array
+        self._state.wait()
+        result = op.combine([np.asarray(self._state.slots[r]) for r in range(self.size)])
+        self._state.wait()
+        self._record("all_reduce", _nwords(array))
+        return result
+
+    def allreduce_scalar(self, value: float, op: ReduceOp = ReduceOp.SUM) -> float:
+        """All-reduce a single scalar (used for objective values and norms)."""
+        return float(self.allreduce(np.asarray([float(value)]), op=op)[0])
+
+    def reduce_scatter(
+        self,
+        array: np.ndarray,
+        counts: Optional[Sequence[int]] = None,
+        axis: int = 0,
+        op: ReduceOp = ReduceOp.SUM,
+    ) -> np.ndarray:
+        """Reduce-scatter: sum arrays over ranks, split the sum along ``axis``.
+
+        Every rank contributes an identically shaped ``array``; after the
+        call, rank ``r`` owns the ``r``-th block (of size ``counts[r]`` along
+        ``axis``) of the elementwise reduction.  If ``counts`` is omitted the
+        axis is split as evenly as possible (first ``remainder`` blocks one
+        element larger), matching the block partitioning in
+        :mod:`repro.dist.partition`.
+        """
+        array = np.asarray(array)
+        length = array.shape[axis]
+        if counts is None:
+            base, rem = divmod(length, self.size)
+            counts = [base + (1 if r < rem else 0) for r in range(self.size)]
+        counts = list(counts)
+        if len(counts) != self.size:
+            raise CommunicatorError(
+                f"counts must have length {self.size}, got {len(counts)}"
+            )
+        if sum(counts) != length:
+            raise CommunicatorError(
+                f"counts sum to {sum(counts)} but axis {axis} has length {length}"
+            )
+        offsets = np.concatenate(([0], np.cumsum(counts)))
+        if self.size == 1:
+            return array.copy()
+        self._state.slots[self.rank] = array
+        self._state.wait()
+        lo, hi = offsets[self.rank], offsets[self.rank + 1]
+        index: List[Any] = [slice(None)] * array.ndim
+        index[axis] = slice(lo, hi)
+        index = tuple(index)
+        pieces = [np.asarray(self._state.slots[r])[index] for r in range(self.size)]
+        result = op.combine(pieces)
+        self._state.wait()
+        self._record("reduce_scatter", _nwords(array))
+        return result
+
+    # -- communicator management --------------------------------------------
+    def split(self, color: int, key: Optional[int] = None) -> "Comm":
+        """Partition the communicator into sub-communicators by ``color``.
+
+        All ranks must call ``split``; ranks sharing a ``color`` end up in the
+        same sub-communicator, ordered by ``key`` (default: current rank).
+        This is how the processor grid builds its row and column
+        communicators.
+        """
+        if key is None:
+            key = self.rank
+        self._split_count += 1
+        split_id = self._split_count
+        info = self.allgather_object((int(color), int(key), self.rank))
+        members = sorted(
+            [(k, r) for (c, k, r) in info if c == int(color)], key=lambda kr: (kr[0], kr[1])
+        )
+        group_local_ranks = [r for _, r in members]
+        new_rank = group_local_ranks.index(self.rank)
+        group_world_ranks = tuple(self._group_ranks[r] for r in group_local_ranks)
+
+        with self._state.lock:
+            reg_key = ("split", split_id, int(color))
+            sub_state = self._state.registry.get(reg_key)
+            if sub_state is None:
+                sub_state = SharedGroupState(len(group_local_ranks))
+                self._state.registry[reg_key] = sub_state
+        # Make sure every rank observed its sub-state before anyone proceeds.
+        self.barrier()
+        return Comm(
+            state=sub_state,
+            rank=new_rank,
+            group_ranks=group_world_ranks,
+            parent=self,
+        )
+
+    def dup(self) -> "Comm":
+        """Return a communicator over the same group with fresh shared state."""
+        return self.split(color=0, key=self.rank)
+
+
+class SelfComm(Comm):
+    """A size-1 communicator for running the parallel code paths sequentially."""
+
+    def __init__(self, ledger: Optional[CostLedger] = None):
+        super().__init__(SharedGroupState(1), rank=0, group_ranks=(0,), ledger=ledger)

@@ -1,0 +1,51 @@
+"""The paper's algorithms: sequential ANLS, Naive-Parallel-NMF and HPC-NMF.
+
+* :mod:`repro.core.anls` — Algorithm 1, the sequential Alternating
+  Nonnegative Least Squares framework (the correctness reference);
+* :mod:`repro.core.naive` — Algorithm 2, the naive parallelization that
+  all-gathers whole factor matrices every iteration;
+* :mod:`repro.core.hpc_nmf` — Algorithm 3, HPC-NMF on a ``pr × pc`` processor
+  grid (the 1D variant is the grid ``(p, 1)``);
+* :mod:`repro.core.api` — the user-facing ``nmf`` / ``parallel_nmf`` entry
+  points used by the examples and benchmarks.
+
+Extensions beyond the paper's headline algorithms (motivated by its use cases
+and future-work discussion):
+
+* :mod:`repro.core.regularized` — ridge / L1-regularized NMF through the same
+  normal-equations interface (communication pattern unchanged);
+* :mod:`repro.core.symmetric` — symmetric NMF for graph clustering (the
+  Webbase use case, the paper's reference [13]);
+* :mod:`repro.core.streaming` — sliding-window incremental NMF for live video
+  (the §6.1.1 streaming scenario).
+"""
+
+from repro.core.api import nmf, parallel_nmf
+from repro.core.anls import anls_nmf
+from repro.core.config import NMFConfig
+from repro.core.result import NMFResult, IterationStats
+from repro.core.objective import (
+    frobenius_error,
+    relative_error,
+    objective_from_grams,
+)
+from repro.core.regularized import Regularization, regularized_nmf
+from repro.core.symmetric import SymNMFResult, symmetric_nmf
+from repro.core.streaming import StreamingNMF
+
+__all__ = [
+    "nmf",
+    "parallel_nmf",
+    "anls_nmf",
+    "NMFConfig",
+    "NMFResult",
+    "IterationStats",
+    "frobenius_error",
+    "relative_error",
+    "objective_from_grams",
+    "Regularization",
+    "regularized_nmf",
+    "SymNMFResult",
+    "symmetric_nmf",
+    "StreamingNMF",
+]

@@ -1,0 +1,126 @@
+"""User-facing entry points.
+
+:func:`nmf` runs the sequential reference (Algorithm 1); :func:`parallel_nmf`
+runs Algorithm 2 or Algorithm 3 on an SPMD thread backend and assembles the
+global factors.  Both accept dense ndarrays or scipy sparse matrices and
+return an :class:`~repro.core.result.NMFResult`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.comm.backend import run_spmd
+from repro.core.anls import anls_nmf
+from repro.core.config import Algorithm, NMFConfig
+from repro.core.hpc_nmf import assemble_hpc_result, hpc_nmf
+from repro.core.naive import assemble_naive_result, naive_parallel_nmf
+from repro.core.result import NMFResult
+from repro.util.errors import ShapeError
+from repro.util.validation import check_matrix, check_nonnegative, check_rank
+
+
+def _build_config(k: int, config: Optional[NMFConfig], **kwargs) -> NMFConfig:
+    if config is not None:
+        if kwargs:
+            config = config.with_options(**kwargs)
+        if config.k != k:
+            config = config.with_options(k=k)
+        return config
+    return NMFConfig(k=k, **kwargs)
+
+
+def nmf(
+    A,
+    k: int,
+    *,
+    config: Optional[NMFConfig] = None,
+    **options,
+) -> NMFResult:
+    """Compute a rank-``k`` NMF of ``A`` with the sequential ANLS algorithm.
+
+    Parameters
+    ----------
+    A:
+        Nonnegative ``m × n`` matrix (dense ndarray or scipy sparse).
+    k:
+        Target rank.
+    config:
+        Full :class:`NMFConfig`; keyword ``options`` override individual
+        fields (``max_iters``, ``tol``, ``solver``, ``seed``, ...).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> rng = np.random.default_rng(0)
+    >>> A = rng.random((60, 40)) @ np.eye(40)      # arbitrary nonnegative data
+    >>> res = nmf(A, k=5, max_iters=10, seed=1)
+    >>> res.W.shape, res.H.shape
+    ((60, 5), (5, 40))
+    >>> res.relative_error < 1.0
+    True
+    """
+    cfg = _build_config(k, config, **options)
+    return anls_nmf(A, cfg)
+
+
+def parallel_nmf(
+    A,
+    k: int,
+    n_ranks: int,
+    *,
+    algorithm: Union[str, Algorithm] = Algorithm.HPC_2D,
+    grid: Optional[Tuple[int, int]] = None,
+    config: Optional[NMFConfig] = None,
+    **options,
+) -> NMFResult:
+    """Compute a rank-``k`` NMF with one of the parallel algorithms.
+
+    Runs ``n_ranks`` SPMD ranks on the thread backend, each owning only its
+    block of ``A`` and of the factors, exactly as the MPI implementation in
+    the paper would, then assembles and returns the global factors.
+
+    Parameters
+    ----------
+    A:
+        Nonnegative global matrix (each rank slices out its own block).
+    k:
+        Target rank.
+    n_ranks:
+        Number of SPMD ranks ``p``.
+    algorithm:
+        ``"naive"`` (Algorithm 2), ``"hpc1d"`` or ``"hpc2d"`` (Algorithm 3
+        with a 1D / auto-selected 2D grid), or ``"sequential"`` to fall back
+        to :func:`nmf` (ignoring ``n_ranks``).
+    grid:
+        Explicit ``(pr, pc)`` grid for the HPC variants (must multiply to
+        ``n_ranks``).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> A = np.abs(np.random.default_rng(3).standard_normal((48, 36)))
+    >>> res = parallel_nmf(A, k=4, n_ranks=4, algorithm="hpc2d", max_iters=5)
+    >>> res.n_ranks, res.grid_shape
+    (4, (2, 2))
+    """
+    A = check_matrix(A, "A")
+    check_nonnegative(A, "A")
+    m, n = A.shape
+    check_rank(k, m, n)
+    algorithm = Algorithm(algorithm)
+
+    if n_ranks < 1:
+        raise ShapeError(f"n_ranks must be >= 1, got {n_ranks}")
+
+    cfg = _build_config(k, config, **options).with_options(algorithm=algorithm, grid=grid)
+
+    if algorithm == Algorithm.SEQUENTIAL:
+        return anls_nmf(A, cfg)
+    if algorithm == Algorithm.NAIVE:
+        per_rank = run_spmd(n_ranks, naive_parallel_nmf, A, cfg, name="naive-nmf")
+        return assemble_naive_result(per_rank, cfg)
+    per_rank = run_spmd(n_ranks, hpc_nmf, A, cfg, name="hpc-nmf")
+    return assemble_hpc_result(per_rank, cfg)

@@ -1,0 +1,92 @@
+"""Configuration for the NMF algorithms.
+
+A single :class:`NMFConfig` drives the sequential reference, Algorithm 2 and
+Algorithm 3, so experiments can hold everything fixed and vary exactly one
+knob (algorithm, solver, grid shape, rank), the way the paper's evaluation
+does.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Optional, Tuple
+
+from repro.util.errors import ShapeError
+
+
+class Algorithm(str, enum.Enum):
+    """Which parallel algorithm to run."""
+
+    SEQUENTIAL = "sequential"  # Algorithm 1 (reference)
+    NAIVE = "naive"            # Algorithm 2
+    HPC_1D = "hpc1d"           # Algorithm 3 with pr = p, pc = 1
+    HPC_2D = "hpc2d"           # Algorithm 3 with the §5 grid-selection rule
+
+
+@dataclass(frozen=True)
+class NMFConfig:
+    """Options shared by every NMF run.
+
+    Parameters
+    ----------
+    k:
+        Target rank of the factorization (the paper uses 10-50).
+    max_iters:
+        Number of outer ANLS iterations.
+    tol:
+        Relative-error improvement threshold for early stopping; ``0`` runs
+        exactly ``max_iters`` iterations (the paper's timing experiments fix
+        the iteration count).
+    solver:
+        Local NLS solver name: ``"bpp"`` (default, as in the paper), ``"mu"``,
+        ``"hals"`` or ``"pgrad"``.
+    seed:
+        Seed used to initialise ``H`` (§6.1.3: the same seed is reused across
+        algorithms so they perform the same computations).
+    algorithm:
+        Which variant to run (sequential / naive / hpc1d / hpc2d).
+    grid:
+        Explicit ``(pr, pc)`` processor grid for HPC-NMF; ``None`` applies the
+        paper's grid-selection rule.
+    compute_error:
+        Whether to compute the relative objective each iteration (adds one
+        small all-reduce, as discussed in §5's communication-optimality
+        argument).
+    inner_iters:
+        Inner sweeps for the iterative solvers (MU/HALS); ignored by BPP.
+    """
+
+    k: int
+    max_iters: int = 30
+    tol: float = 0.0
+    solver: str = "bpp"
+    seed: int = 42
+    algorithm: Algorithm = Algorithm.HPC_2D
+    grid: Optional[Tuple[int, int]] = None
+    compute_error: bool = True
+    inner_iters: int = 1
+
+    def __post_init__(self):
+        if self.k < 1:
+            raise ShapeError(f"rank k must be >= 1, got {self.k}")
+        if self.max_iters < 1:
+            raise ShapeError(f"max_iters must be >= 1, got {self.max_iters}")
+        if self.tol < 0:
+            raise ShapeError(f"tol must be >= 0, got {self.tol}")
+        if self.inner_iters < 1:
+            raise ShapeError(f"inner_iters must be >= 1, got {self.inner_iters}")
+        # Normalise the algorithm field so strings are accepted.
+        object.__setattr__(self, "algorithm", Algorithm(self.algorithm))
+
+    def with_options(self, **kwargs) -> "NMFConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+    def make_solver(self):
+        """Instantiate the configured local NLS solver."""
+        from repro.nls import make_solver
+
+        if self.solver in ("mu", "hals"):
+            return make_solver(self.solver, inner_iters=self.inner_iters)
+        return make_solver(self.solver)

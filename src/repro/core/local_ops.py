@@ -1,0 +1,72 @@
+"""Local matrix kernels shared by the sequential and parallel algorithms.
+
+These are the "MM" and "Gram" tasks of the paper's time breakdown (§6.3):
+multiplying the local data block with a factor block, and forming the local
+contribution to the k×k Gram matrices.  They transparently handle dense
+(ndarray) and sparse (CSR/CSC) data blocks; in the sparse case the matmul cost
+is ``2·nnz(A_local)·k`` flops instead of ``2·(m_local·n_local)·k``, exactly the
+distinction the paper draws in its computation-cost analysis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.validation import is_sparse
+
+
+def gram(X: np.ndarray, transpose_first: bool) -> np.ndarray:
+    """Return ``XᵀX`` (``transpose_first=True``) or ``XXᵀ`` (False), symmetrised.
+
+    Used for the local Gram contributions ``U_ij = (H_j)_i (H_j)_iᵀ`` and
+    ``X_ij = (W_i)_jᵀ (W_i)_j`` (lines 3 and 9 of Algorithm 3).
+    """
+    X = np.asarray(X)
+    G = X.T @ X if transpose_first else X @ X.T
+    # Force exact symmetry so downstream Cholesky factorizations are stable.
+    return (G + G.T) * 0.5
+
+
+def matmul_a_ht(A_block, Ht: np.ndarray) -> np.ndarray:
+    """``A_block @ Ht`` where ``Ht = Hᵀ`` has shape (n_local, k).
+
+    This is ``V_ij = A_ij H_jᵀ`` (line 6 of Algorithm 3) and the corresponding
+    product in Algorithm 2; returns an (m_local, k) dense array.
+    """
+    Ht = np.asarray(Ht)
+    result = A_block @ Ht
+    return np.asarray(result)
+
+
+def matmul_wt_a(W_block: np.ndarray, A_block) -> np.ndarray:
+    """``W_blockᵀ @ A_block`` giving a (k, n_local) dense array.
+
+    This is ``Y_ij = W_iᵀ A_ij`` (line 12 of Algorithm 3).  For sparse blocks
+    the product is computed as ``(A_blockᵀ @ W_block)ᵀ`` so the sparse operand
+    stays on the left (scipy only implements sparse @ dense efficiently).
+    """
+    W_block = np.asarray(W_block)
+    if is_sparse(A_block):
+        return np.ascontiguousarray((A_block.T @ W_block).T)
+    return W_block.T @ A_block
+
+
+def local_cross_term(rhs_block: np.ndarray, factor_block: np.ndarray) -> float:
+    """Local contribution to ``⟨A Hᵀ, W⟩`` / ``⟨Wᵀ A, H⟩`` for the error trick.
+
+    Both arguments are this rank's co-located blocks of the two matrices; the
+    global cross term is the all-reduce sum of these scalars.
+    """
+    return float(np.vdot(np.asarray(rhs_block), np.asarray(factor_block)))
+
+
+def matmul_flops(A_block, k: int) -> float:
+    """Flop count of multiplying the local block with a k-column factor.
+
+    Dense blocks cost ``2 m_local n_local k`` flops; sparse blocks
+    ``2 nnz k`` (the paper's §4.3 / §5 distinction).
+    """
+    if is_sparse(A_block):
+        return 2.0 * A_block.nnz * k
+    m_local, n_local = A_block.shape
+    return 2.0 * m_local * n_local * k

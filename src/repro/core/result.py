@@ -1,0 +1,123 @@
+"""Result containers for NMF runs.
+
+:class:`NMFResult` carries everything the examples, tests and the experiment
+harness need: the factors, per-iteration objective values, the per-task time
+breakdown (the six categories of Figure 3) and the communication ledger of
+the run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.comm.profiler import TimeBreakdown
+from repro.core.config import NMFConfig
+
+
+@dataclass
+class IterationStats:
+    """Per-iteration diagnostics."""
+
+    iteration: int
+    objective: float
+    relative_error: float
+    seconds: float
+
+
+@dataclass
+class NMFResult:
+    """Outcome of an NMF run (sequential or parallel).
+
+    Attributes
+    ----------
+    W, H:
+        The nonnegative factors, ``m × k`` and ``k × n``.  For parallel runs
+        these are the assembled global factors.
+    config:
+        The configuration that produced this result.
+    iterations:
+        Number of outer iterations actually performed.
+    history:
+        Per-iteration statistics (empty if ``compute_error=False``).
+    breakdown:
+        Wall-clock seconds per task category, summed over iterations and taken
+        as the max over ranks (the parallel critical path).
+    ledger_summary:
+        Per-collective words/messages recorded by the communicator, from rank
+        0's ledger (all ranks are symmetric in these algorithms).
+    n_ranks, grid_shape:
+        Parallel execution geometry (1 and None for sequential runs).
+    converged:
+        True when the relative-error improvement dropped below ``config.tol``
+        before ``max_iters`` (always False when ``tol == 0``).
+    """
+
+    W: np.ndarray
+    H: np.ndarray
+    config: NMFConfig
+    iterations: int
+    history: List[IterationStats] = field(default_factory=list)
+    breakdown: TimeBreakdown = field(default_factory=TimeBreakdown.zeros)
+    ledger_summary: Dict[str, dict] = field(default_factory=dict)
+    n_ranks: int = 1
+    grid_shape: Optional[tuple] = None
+    converged: bool = False
+
+    @property
+    def objective(self) -> float:
+        """Final objective value ``||A - WH||_F²`` (NaN if never computed)."""
+        return self.history[-1].objective if self.history else float("nan")
+
+    @property
+    def relative_error(self) -> float:
+        """Final relative error ``||A - WH||_F / ||A||_F`` (NaN if never computed)."""
+        return self.history[-1].relative_error if self.history else float("nan")
+
+    @property
+    def objective_history(self) -> List[float]:
+        return [s.objective for s in self.history]
+
+    @property
+    def relative_error_history(self) -> List[float]:
+        return [s.relative_error for s in self.history]
+
+    @property
+    def seconds_per_iteration(self) -> float:
+        """Mean wall-clock seconds per outer iteration (total breakdown / iterations)."""
+        if self.iterations == 0:
+            return 0.0
+        return self.breakdown.total / self.iterations
+
+    def reconstruction(self) -> np.ndarray:
+        """The dense low-rank approximation ``W @ H``."""
+        return self.W @ self.H
+
+    def summary(self) -> str:
+        """Human-readable one-paragraph summary (used by the examples)."""
+        lines = [
+            f"NMF result: rank k={self.config.k}, algorithm={self.config.algorithm.value}, "
+            f"solver={self.config.solver}",
+            f"  factors: W {self.W.shape}, H {self.H.shape}",
+            f"  iterations: {self.iterations} (converged={self.converged})",
+        ]
+        if self.history:
+            lines.append(
+                f"  relative error: {self.history[0].relative_error:.4f} -> "
+                f"{self.relative_error:.4f}"
+            )
+        if self.n_ranks > 1:
+            lines.append(
+                f"  ranks: {self.n_ranks}"
+                + (f", grid {self.grid_shape[0]}x{self.grid_shape[1]}" if self.grid_shape else "")
+            )
+        total = self.breakdown.total
+        if total > 0:
+            parts = ", ".join(
+                f"{cat}={sec:.3f}s" for cat, sec in sorted(self.breakdown.as_dict().items())
+                if sec > 0
+            )
+            lines.append(f"  time breakdown: total={total:.3f}s ({parts})")
+        return "\n".join(lines)

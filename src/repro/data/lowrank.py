@@ -1,0 +1,55 @@
+"""Planted nonnegative low-rank matrices.
+
+These are not one of the paper's benchmark datasets; they exist so the test
+suite can check *recovery*: when the input truly is ``W* H*`` (plus optional
+noise) with nonnegative factors of rank ``k``, every NMF variant should drive
+the relative error toward the noise floor.  They are also handy in examples
+for demonstrating interpretability of the factors.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def planted_lowrank(
+    m: int,
+    n: int,
+    k: int,
+    seed: int = 0,
+    noise_std: float = 0.0,
+    sparsity: float = 0.0,
+    return_factors: bool = False,
+):
+    """A nonnegative matrix ``A = W* H* (+ noise)`` with known rank-``k`` structure.
+
+    Parameters
+    ----------
+    m, n, k:
+        Dimensions of the planted factorization.
+    noise_std:
+        Standard deviation of additive Gaussian noise (clipped so A stays
+        nonnegative).
+    sparsity:
+        Fraction of entries of the *factors* zeroed out, producing parts-based
+        structure (0 keeps the factors dense).
+    return_factors:
+        When True, return ``(A, W*, H*)``.
+    """
+    rng = np.random.default_rng(seed)
+    W = rng.random((m, k))
+    H = rng.random((k, n))
+    if sparsity > 0:
+        W[rng.random((m, k)) < sparsity] = 0.0
+        H[rng.random((k, n)) < sparsity] = 0.0
+        # Keep every row/column of the factors nonzero so the rank stays k.
+        W[np.all(W == 0, axis=1), :] = rng.random((int(np.sum(np.all(W == 0, axis=1))), k))
+        H[:, np.all(H == 0, axis=0)] = rng.random((k, int(np.sum(np.all(H == 0, axis=0)))))
+    A = W @ H
+    if noise_std > 0:
+        A = np.maximum(A + rng.normal(0.0, noise_std, size=A.shape), 0.0)
+    if return_factors:
+        return A, W, H
+    return A

@@ -1,0 +1,67 @@
+"""Hierarchical Alternating Least Squares (HALS) updates (paper Eq. 4).
+
+HALS applies block coordinate descent over the k rows of the factor being
+updated (columns of W / rows of H), using the most recent values of the other
+rows within the same sweep.  In normal-equations form, with ``G = CᵀC`` and
+``R = CᵀB``, the update of row ``i`` of ``X`` is
+
+    X[i] ← [ R[i] − Σ_{l≠i} G[i, l] X[l] ]₊ / G[i, i]
+          = [ X[i] + (R[i] − G[i] X) / G[i, i] ]₊,
+
+where the second form reuses the running product ``G X`` so a full sweep costs
+``2 c k²`` flops — the figure quoted in §4.1.
+
+Rows with a vanishing diagonal ``G[i, i]`` (a column of C that is entirely
+zero) are reset to zero, the conventional safeguard.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nls.base import NLSSolver, NLSState, register_solver
+
+EPS = 1e-16
+
+
+@register_solver
+class HALSUpdate(NLSSolver):
+    """HALS block-coordinate-descent solver for the normal-equations NLS problem."""
+
+    name = "hals"
+
+    def __init__(self, inner_iters: int = 1):
+        super().__init__()
+        if inner_iters < 1:
+            raise ValueError(f"inner_iters must be >= 1, got {inner_iters}")
+        self.inner_iters = int(inner_iters)
+
+    def solve(
+        self,
+        gram: np.ndarray,
+        rhs: np.ndarray,
+        x0: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        gram, rhs, x0 = self._validate(gram, rhs, x0)
+        k, c = rhs.shape
+        if x0 is None:
+            x = np.full((k, c), 0.5)
+        else:
+            x = np.maximum(x0, 0.0).copy()
+
+        diag = np.diag(gram).copy()
+        for _ in range(self.inner_iters):
+            for i in range(k):
+                if diag[i] <= EPS:
+                    x[i, :] = 0.0
+                    continue
+                # residual row: R[i] - G[i, :] @ X, then add back the G[i,i] X[i]
+                # term so the update uses the "X[i] + correction" form.
+                gi_x = gram[i, :] @ x
+                update = x[i, :] + (rhs[i, :] - gi_x) / diag[i]
+                np.maximum(update, 0.0, out=update)
+                x[i, :] = update
+        self.last_state = NLSState(iterations=self.inner_iters)
+        return x

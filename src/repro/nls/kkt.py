@@ -1,0 +1,55 @@
+"""KKT optimality checks for the NLS subproblem (paper Eq. 6).
+
+For ``min_{x>=0} ||Cx − b||²`` with ``G = CᵀC`` and ``r = Cᵀb``, the KKT
+conditions are
+
+    y = G x − r,     x >= 0,     y >= 0,     xᵀ y = 0.
+
+The residual returned by :func:`kkt_residual` is the largest violation of any
+of the three inequality/complementarity conditions; a point is accepted as
+optimal when that violation is below a tolerance.  These checks back the BPP
+unit tests and the hypothesis property tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def kkt_residual(gram: np.ndarray, rhs: np.ndarray, x: np.ndarray) -> float:
+    """Maximum violation of the KKT conditions at ``x`` (0 means optimal)."""
+    gram = np.asarray(gram, dtype=np.float64)
+    rhs = np.asarray(rhs, dtype=np.float64)
+    x = np.asarray(x, dtype=np.float64)
+    if rhs.ndim == 1:
+        rhs = rhs[:, None]
+    if x.ndim == 1:
+        x = x[:, None]
+    y = gram @ x - rhs
+    primal = float(np.max(np.maximum(-x, 0.0), initial=0.0))
+    dual = float(np.max(np.maximum(-y, 0.0), initial=0.0))
+    complementarity = float(np.max(np.abs(x * y), initial=0.0))
+    return max(primal, dual, complementarity)
+
+
+def check_kkt(
+    gram: np.ndarray,
+    rhs: np.ndarray,
+    x: np.ndarray,
+    tol: float = 1e-6,
+    scale_free: bool = True,
+) -> bool:
+    """True when ``x`` satisfies the KKT conditions to tolerance ``tol``.
+
+    With ``scale_free=True`` (default) the tolerance is relative to the
+    magnitude of the problem data, which keeps the check meaningful across the
+    wide dynamic ranges the property tests generate.
+    """
+    scale = 1.0
+    if scale_free:
+        scale = max(
+            1.0,
+            float(np.max(np.abs(rhs), initial=0.0)),
+            float(np.max(np.abs(gram), initial=0.0)),
+        )
+    return kkt_residual(gram, rhs, x) <= tol * scale

@@ -1,0 +1,89 @@
+"""Single right-hand-side active-set NNLS (Lawson–Hanson), used as a test oracle.
+
+The classic Lawson–Hanson algorithm adds one variable at a time to the passive
+set and is therefore slow for many right-hand sides, but it is simple enough
+to trust as a reference: the test suite checks that BPP produces the same
+solutions (BPP is exact at termination, so both must agree on the unique
+minimizer when ``CᵀC`` is positive definite).
+
+This implementation works directly from the normal equations ``G = CᵀC``,
+``r = Cᵀb``, the same interface as the production solvers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.errors import ShapeError, SolverError
+
+
+def active_set_nnls(gram: np.ndarray, rhs: np.ndarray, max_iters: int = 0) -> np.ndarray:
+    """Solve ``min_{x>=0} ||Cx - b||`` given ``gram = CᵀC`` and ``rhs = Cᵀb``.
+
+    Parameters
+    ----------
+    gram:
+        ``k × k`` symmetric positive semidefinite matrix.
+    rhs:
+        Length-``k`` vector (single right-hand side) or ``k × c`` matrix, in
+        which case the columns are solved independently.
+    max_iters:
+        Safety cap on active-set iterations; 0 means ``3 * k`` per column.
+
+    Returns
+    -------
+    ndarray with the same shape as ``rhs``.
+    """
+    gram = np.asarray(gram, dtype=np.float64)
+    rhs = np.asarray(rhs, dtype=np.float64)
+    if gram.ndim != 2 or gram.shape[0] != gram.shape[1]:
+        raise ShapeError(f"gram must be square, got {gram.shape}")
+    if rhs.ndim == 2:
+        return np.column_stack(
+            [active_set_nnls(gram, rhs[:, j], max_iters=max_iters) for j in range(rhs.shape[1])]
+        )
+    k = gram.shape[0]
+    if rhs.shape != (k,):
+        raise ShapeError(f"rhs must have shape ({k},), got {rhs.shape}")
+    limit = max_iters if max_iters > 0 else max(3 * k, 30)
+
+    x = np.zeros(k)
+    passive = np.zeros(k, dtype=bool)
+    gradient = rhs - gram @ x  # equals -y in the paper's notation
+
+    for _ in range(limit):
+        candidates = (~passive) & (gradient > 1e-12)
+        if not np.any(candidates):
+            break
+        # Add the most violated variable to the passive set.
+        j = int(np.argmax(np.where(candidates, gradient, -np.inf)))
+        passive[j] = True
+
+        # Inner loop: solve on the passive set and step back if any passive
+        # variable would become negative.
+        while True:
+            idx = np.flatnonzero(passive)
+            z = np.zeros(k)
+            sub = gram[np.ix_(idx, idx)]
+            try:
+                z[idx] = np.linalg.solve(sub, rhs[idx])
+            except np.linalg.LinAlgError:
+                z[idx] = np.linalg.lstsq(sub, rhs[idx], rcond=None)[0]
+            if np.all(z[idx] > -1e-12):
+                x = np.maximum(z, 0.0)
+                break
+            # Step from x toward z until the first passive variable hits zero.
+            negative = idx[z[idx] <= -1e-12]
+            with np.errstate(divide="ignore", invalid="ignore"):
+                ratios = x[negative] / (x[negative] - z[negative])
+            alpha = float(np.min(ratios))
+            x = x + alpha * (z - x)
+            np.maximum(x, 0.0, out=x)
+            passive = passive & (x > 1e-12)
+            if not np.any(passive):
+                x = np.zeros(k)
+                break
+        gradient = rhs - gram @ x
+    else:
+        raise SolverError(f"active-set NNLS did not converge within {limit} iterations")
+    return x

@@ -1,0 +1,54 @@
+"""Performance model and experiment harness.
+
+Two modes regenerate the paper's evaluation:
+
+* **modeled** — evaluate the closed-form per-iteration, per-task costs of
+  Naive / HPC-NMF-1D / HPC-NMF-2D (the formulas of §4.3, §5 and Table 2)
+  under an alpha-beta-gamma machine calibrated to Edison, at the paper's data
+  sizes and core counts.  This reproduces the *shape* of Figure 3 and Table 3
+  (who wins, by what factor, where the crossovers fall).
+* **measured** — actually run the three algorithms on the SPMD thread backend
+  with scaled-down datasets and report real wall-clock breakdowns.
+
+:mod:`repro.perf.model` holds the closed forms, :mod:`repro.perf.experiments`
+the drivers for each figure/table, and :mod:`repro.perf.report` the CSV/ASCII
+rendering used by the benchmark harness.
+"""
+
+from repro.perf.machine import MachineSpec, EDISON_NODE, edison_machine
+from repro.perf.model import (
+    AlgorithmVariant,
+    dense_flops_per_iteration,
+    naive_breakdown,
+    hpc_breakdown,
+    predicted_breakdown,
+    table2_costs,
+)
+from repro.perf.experiments import (
+    ComparisonPoint,
+    comparison_vs_k,
+    strong_scaling,
+    table3_grid,
+    measured_breakdown,
+)
+from repro.perf.report import render_breakdown_table, render_table3, to_csv
+
+__all__ = [
+    "MachineSpec",
+    "EDISON_NODE",
+    "edison_machine",
+    "AlgorithmVariant",
+    "dense_flops_per_iteration",
+    "naive_breakdown",
+    "hpc_breakdown",
+    "predicted_breakdown",
+    "table2_costs",
+    "ComparisonPoint",
+    "comparison_vs_k",
+    "strong_scaling",
+    "table3_grid",
+    "measured_breakdown",
+    "render_breakdown_table",
+    "render_table3",
+    "to_csv",
+]

@@ -1,0 +1,245 @@
+"""Experiment drivers regenerating the paper's figures and tables.
+
+Each of the paper's plots is a grid of (algorithm variant × x-axis value)
+points, where every point is a per-iteration time broken into the six task
+categories:
+
+* Figure 3 a/c/e/g — *comparison*: fix p = 600 cores, sweep k ∈ {10..50};
+* Figure 3 b/d/f/h — *strong scaling*: fix k = 50, sweep the core count;
+* Table 3 — the total per-iteration seconds of every (dataset, algorithm,
+  cores) combination at k = 50.
+
+:func:`comparison_vs_k` and :func:`strong_scaling` produce those grids in
+either **modeled** mode (closed forms at paper scale — the default, since a
+single machine cannot time 600 cores) or **measured** mode (real runs of the
+scaled-down datasets on the SPMD backend).  The benchmark harness under
+``benchmarks/`` calls these drivers and prints the same series the paper
+reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.comm.profiler import TimeBreakdown
+from repro.core.api import parallel_nmf
+from repro.core.config import Algorithm
+from repro.data.registry import DatasetSpec, measured_scale, paper_scale
+from repro.perf.machine import MachineSpec, edison_machine
+from repro.perf.model import AlgorithmVariant, predicted_breakdown
+
+#: Core counts used by the paper's scaling experiments.
+PAPER_CORE_COUNTS = [24, 96, 216, 384, 600]
+#: Dense datasets only fit on 9+ nodes in the paper, so their sweep starts at 216.
+PAPER_CORE_COUNTS_DENSE = [216, 384, 600]
+#: Rank sweep of the comparison experiments.
+PAPER_RANKS = [10, 20, 30, 40, 50]
+#: Core count of the comparison experiments.
+PAPER_COMPARISON_CORES = 600
+
+#: Rank / core counts used by the measured (laptop-scale) analogues.
+MEASURED_RANKS = [4, 8, 12, 16]
+MEASURED_CORE_COUNTS = [1, 2, 4, 8]
+MEASURED_COMPARISON_RANKS = 4
+
+_VARIANT_TO_ALGORITHM = {
+    AlgorithmVariant.NAIVE: Algorithm.NAIVE,
+    AlgorithmVariant.HPC_1D: Algorithm.HPC_1D,
+    AlgorithmVariant.HPC_2D: Algorithm.HPC_2D,
+}
+
+
+@dataclass
+class ComparisonPoint:
+    """One bar of a Figure-3-style plot."""
+
+    dataset: str
+    variant: AlgorithmVariant
+    k: int
+    p: int
+    breakdown: TimeBreakdown
+    mode: str  # "modeled" or "measured"
+
+    @property
+    def total(self) -> float:
+        return self.breakdown.total
+
+
+@dataclass
+class ExperimentResult:
+    """A collection of comparison points plus the experiment metadata."""
+
+    name: str
+    points: List[ComparisonPoint] = field(default_factory=list)
+
+    def totals(self) -> Dict[tuple, float]:
+        return {(pt.variant.value, pt.k, pt.p): pt.total for pt in self.points}
+
+    def for_variant(self, variant: AlgorithmVariant) -> List[ComparisonPoint]:
+        return [pt for pt in self.points if pt.variant == variant]
+
+    def speedup(self, baseline: AlgorithmVariant, against: AlgorithmVariant) -> Dict[tuple, float]:
+        """Per (k, p) ratio baseline_total / against_total (e.g. Naive / HPC-2D)."""
+        base = {(pt.k, pt.p): pt.total for pt in self.for_variant(baseline)}
+        other = {(pt.k, pt.p): pt.total for pt in self.for_variant(against)}
+        return {key: base[key] / other[key] for key in base if key in other and other[key] > 0}
+
+
+# ---------------------------------------------------------------------------
+# measured mode
+# ---------------------------------------------------------------------------
+
+def measured_breakdown(
+    spec: DatasetSpec,
+    variant: AlgorithmVariant,
+    k: int,
+    n_ranks: int,
+    iterations: int = 3,
+    seed: int = 1,
+) -> TimeBreakdown:
+    """Run the algorithm for real on the SPMD backend; per-iteration breakdown.
+
+    The error computation is disabled so the measured categories contain only
+    the six tasks of the paper's breakdown.
+    """
+    A = spec.load()
+    result = parallel_nmf(
+        A,
+        k,
+        n_ranks=n_ranks,
+        algorithm=_VARIANT_TO_ALGORITHM[AlgorithmVariant(variant)],
+        max_iters=iterations,
+        compute_error=False,
+        seed=seed,
+    )
+    return result.breakdown.scaled(1.0 / max(result.iterations, 1))
+
+
+# ---------------------------------------------------------------------------
+# figure drivers
+# ---------------------------------------------------------------------------
+
+def comparison_vs_k(
+    dataset: str,
+    mode: str = "modeled",
+    ks: Optional[Sequence[int]] = None,
+    cores: Optional[int] = None,
+    machine: Optional[MachineSpec] = None,
+    variants: Sequence[AlgorithmVariant] = tuple(AlgorithmVariant),
+    measured_iterations: int = 3,
+) -> ExperimentResult:
+    """Figure 3 a/c/e/g: per-iteration time vs rank ``k`` at a fixed core count.
+
+    ``dataset`` is one of ``"DSYN"``, ``"SSYN"``, ``"Video"``, ``"Webbase"``.
+    """
+    machine = machine or edison_machine()
+    if mode == "modeled":
+        spec = paper_scale(dataset)
+        ks = list(ks or PAPER_RANKS)
+        p = cores or PAPER_COMPARISON_CORES
+    elif mode == "measured":
+        spec = measured_scale(dataset)
+        ks = list(ks or MEASURED_RANKS)
+        p = cores or MEASURED_COMPARISON_RANKS
+    else:
+        raise ValueError(f"mode must be 'modeled' or 'measured', got {mode!r}")
+
+    result = ExperimentResult(name=f"comparison_vs_k[{dataset},{mode},p={p}]")
+    for variant in variants:
+        variant = AlgorithmVariant(variant)
+        for k in ks:
+            if mode == "modeled":
+                breakdown = predicted_breakdown(variant, spec, k, p, machine=machine)
+            else:
+                breakdown = measured_breakdown(
+                    spec, variant, k, p, iterations=measured_iterations
+                )
+            result.points.append(
+                ComparisonPoint(
+                    dataset=dataset, variant=variant, k=k, p=p, breakdown=breakdown, mode=mode
+                )
+            )
+    return result
+
+
+def strong_scaling(
+    dataset: str,
+    mode: str = "modeled",
+    k: int = 50,
+    core_counts: Optional[Sequence[int]] = None,
+    machine: Optional[MachineSpec] = None,
+    variants: Sequence[AlgorithmVariant] = tuple(AlgorithmVariant),
+    measured_iterations: int = 3,
+) -> ExperimentResult:
+    """Figure 3 b/d/f/h: per-iteration time vs core count at fixed ``k``."""
+    machine = machine or edison_machine()
+    if mode == "modeled":
+        spec = paper_scale(dataset)
+        if core_counts is None:
+            core_counts = (
+                PAPER_CORE_COUNTS_DENSE if not spec.is_sparse else PAPER_CORE_COUNTS
+            )
+    elif mode == "measured":
+        spec = measured_scale(dataset)
+        core_counts = core_counts or MEASURED_CORE_COUNTS
+        k = min(k, 8)
+    else:
+        raise ValueError(f"mode must be 'modeled' or 'measured', got {mode!r}")
+
+    result = ExperimentResult(name=f"strong_scaling[{dataset},{mode},k={k}]")
+    for variant in variants:
+        variant = AlgorithmVariant(variant)
+        for p in core_counts:
+            if mode == "modeled":
+                breakdown = predicted_breakdown(variant, spec, k, p, machine=machine)
+            else:
+                breakdown = measured_breakdown(
+                    spec, variant, k, p, iterations=measured_iterations
+                )
+            result.points.append(
+                ComparisonPoint(
+                    dataset=dataset, variant=variant, k=k, p=p, breakdown=breakdown, mode=mode
+                )
+            )
+    return result
+
+
+def table3_grid(
+    mode: str = "modeled",
+    k: int = 50,
+    machine: Optional[MachineSpec] = None,
+    datasets: Sequence[str] = ("DSYN", "SSYN", "Video", "Webbase"),
+    core_counts: Optional[Sequence[int]] = None,
+    measured_iterations: int = 3,
+) -> Dict[str, Dict[str, Dict[int, float]]]:
+    """Table 3: per-iteration seconds for every (algorithm, dataset, cores).
+
+    Returns ``{variant: {dataset: {cores: seconds}}}``.  In modeled mode, the
+    dense datasets are skipped below 216 cores exactly as in the paper (they
+    do not fit in the memory of fewer nodes).
+    """
+    machine = machine or edison_machine()
+    out: Dict[str, Dict[str, Dict[int, float]]] = {}
+    for variant in AlgorithmVariant:
+        out[variant.value] = {}
+        for dataset in datasets:
+            if mode == "modeled":
+                spec = paper_scale(dataset)
+                counts = core_counts or (
+                    PAPER_CORE_COUNTS if spec.is_sparse else PAPER_CORE_COUNTS_DENSE
+                )
+            else:
+                spec = measured_scale(dataset)
+                counts = core_counts or MEASURED_CORE_COUNTS
+            column: Dict[int, float] = {}
+            for p in counts:
+                if mode == "modeled":
+                    breakdown = predicted_breakdown(variant, spec, k, p, machine=machine)
+                else:
+                    breakdown = measured_breakdown(
+                        spec, variant, min(k, 8), p, iterations=measured_iterations
+                    )
+                column[p] = breakdown.total
+            out[variant.value][dataset] = column
+    return out

@@ -1,0 +1,95 @@
+"""Rendering of experiment results as ASCII tables and CSV.
+
+matplotlib is unavailable in the reproduction environment, so the "figures"
+are emitted as the underlying stacked-bar data: one row per (variant, x-axis
+value) with one column per task category, in the same order as the paper's
+legend.  The CSV form is convenient for plotting elsewhere.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, Iterable, List
+
+from repro.comm.profiler import TaskCategory
+from repro.perf.experiments import ComparisonPoint, ExperimentResult
+
+#: Category order used in the paper's stacked bars (legend order of Fig. 3).
+CATEGORY_ORDER = [
+    TaskCategory.NLS,
+    TaskCategory.MM,
+    TaskCategory.GRAM,
+    TaskCategory.ALL_GATHER,
+    TaskCategory.REDUCE_SCATTER,
+    TaskCategory.ALL_REDUCE,
+]
+
+
+def _format_row(cells: Iterable[str], widths: List[int]) -> str:
+    return "  ".join(str(c).rjust(w) for c, w in zip(cells, widths))
+
+
+def render_breakdown_table(result: ExperimentResult, x_axis: str = "k") -> str:
+    """Render an :class:`ExperimentResult` as a fixed-width text table.
+
+    ``x_axis`` selects which point attribute labels the rows ("k" for the
+    comparison experiments, "p" for the scaling experiments).
+    """
+    headers = ["variant", x_axis] + [c.value for c in CATEGORY_ORDER] + ["total"]
+    rows: List[List[str]] = []
+    for pt in result.points:
+        x_value = getattr(pt, x_axis)
+        row = [pt.variant.label, str(x_value)]
+        row += [f"{pt.breakdown.get(c):.4f}" for c in CATEGORY_ORDER]
+        row += [f"{pt.total:.4f}"]
+        rows.append(row)
+    widths = [max(len(headers[i]), max((len(r[i]) for r in rows), default=0)) for i in range(len(headers))]
+    lines = [result.name, _format_row(headers, widths), _format_row(["-" * w for w in widths], widths)]
+    lines += [_format_row(r, widths) for r in rows]
+    return "\n".join(lines)
+
+
+def to_csv(result: ExperimentResult) -> str:
+    """CSV form of an experiment result (one row per point, per-task columns)."""
+    buffer = io.StringIO()
+    headers = ["dataset", "variant", "k", "p", "mode"] + [c.value for c in CATEGORY_ORDER] + ["total"]
+    buffer.write(",".join(headers) + "\n")
+    for pt in result.points:
+        cells = [pt.dataset, pt.variant.value, str(pt.k), str(pt.p), pt.mode]
+        cells += [f"{pt.breakdown.get(c):.6g}" for c in CATEGORY_ORDER]
+        cells += [f"{pt.total:.6g}"]
+        buffer.write(",".join(cells) + "\n")
+    return buffer.getvalue()
+
+
+def render_table3(table: Dict[str, Dict[str, Dict[int, float]]], k: int = 50) -> str:
+    """Render the Table 3 grid: per-iteration seconds by cores/dataset/algorithm."""
+    variants = list(table)
+    datasets: List[str] = []
+    core_counts: List[int] = []
+    for per_dataset in table.values():
+        for dataset, column in per_dataset.items():
+            if dataset not in datasets:
+                datasets.append(dataset)
+            for p in column:
+                if p not in core_counts:
+                    core_counts.append(p)
+    core_counts.sort()
+
+    headers = ["cores"] + [f"{v}:{d}" for v in variants for d in datasets]
+    rows = []
+    for p in core_counts:
+        row = [str(p)]
+        for v in variants:
+            for d in datasets:
+                value = table[v].get(d, {}).get(p)
+                row.append(f"{value:.4f}" if value is not None else "-")
+        rows.append(row)
+    widths = [max(len(headers[i]), max(len(r[i]) for r in rows)) for i in range(len(headers))]
+    lines = [
+        f"Table 3 analogue: per-iteration seconds (k={k})",
+        _format_row(headers, widths),
+        _format_row(["-" * w for w in widths], widths),
+    ]
+    lines += [_format_row(r, widths) for r in rows]
+    return "\n".join(lines)

@@ -1,0 +1,35 @@
+"""Shared utilities: errors, validation, seeding, timers, array helpers."""
+
+from repro.util.errors import (
+    ReproError,
+    ShapeError,
+    NonNegativityError,
+    CommunicatorError,
+    ConvergenceWarning,
+)
+from repro.util.validation import (
+    check_nonnegative,
+    check_matrix,
+    check_rank,
+    as_dense,
+    is_sparse,
+)
+from repro.util.seeding import per_rank_seed, spawn_rng
+from repro.util.timing import Timer, WallClock
+
+__all__ = [
+    "ReproError",
+    "ShapeError",
+    "NonNegativityError",
+    "CommunicatorError",
+    "ConvergenceWarning",
+    "check_nonnegative",
+    "check_matrix",
+    "check_rank",
+    "as_dense",
+    "is_sparse",
+    "per_rank_seed",
+    "spawn_rng",
+    "Timer",
+    "WallClock",
+]

@@ -1,0 +1,36 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything the library may raise with one ``except`` clause while still
+letting programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ShapeError(ReproError, ValueError):
+    """An array has an incompatible shape for the requested operation."""
+
+
+class NonNegativityError(ReproError, ValueError):
+    """An input that must be elementwise nonnegative contains negative entries."""
+
+
+class CommunicatorError(ReproError, RuntimeError):
+    """Misuse of the SPMD communicator (rank mismatch, dead backend, ...)."""
+
+
+class PartitionError(ReproError, ValueError):
+    """A matrix cannot be partitioned as requested (e.g. more ranks than rows)."""
+
+
+class SolverError(ReproError, RuntimeError):
+    """A local NLS solver failed to produce a valid solution."""
+
+
+class ConvergenceWarning(UserWarning):
+    """The iterative algorithm stopped before reaching the requested tolerance."""

@@ -1,0 +1,84 @@
+"""Input validation helpers used across the public API.
+
+These helpers normalise user input (lists, matrices of any dtype, sparse
+matrices) into the canonical forms the algorithms expect: C-contiguous
+float64 ndarrays for dense data and CSR for sparse data.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.util.errors import NonNegativityError, ShapeError
+
+MatrixLike = Union[np.ndarray, sp.spmatrix, sp.sparray]
+
+
+def is_sparse(A) -> bool:
+    """Return True if ``A`` is a scipy sparse matrix/array."""
+    return sp.issparse(A)
+
+
+def as_dense(A) -> np.ndarray:
+    """Return ``A`` as a dense float64 ndarray (copying only when needed)."""
+    if is_sparse(A):
+        return np.asarray(A.todense(), dtype=np.float64)
+    return np.ascontiguousarray(np.asarray(A, dtype=np.float64))
+
+
+def check_matrix(A, name: str = "A", *, allow_sparse: bool = True):
+    """Validate a 2-D matrix input and return it in canonical form.
+
+    Dense inputs are returned as C-contiguous float64 arrays; sparse inputs
+    are converted to CSR with float64 data.
+
+    Raises
+    ------
+    ShapeError
+        If the input is not two-dimensional or has a zero dimension.
+    """
+    if is_sparse(A):
+        if not allow_sparse:
+            raise ShapeError(f"{name} must be a dense array, got sparse {type(A).__name__}")
+        A = sp.csr_matrix(A, dtype=np.float64)
+        if A.ndim != 2:
+            raise ShapeError(f"{name} must be 2-D, got {A.ndim}-D")
+        if min(A.shape) == 0:
+            raise ShapeError(f"{name} has a zero dimension: shape {A.shape}")
+        return A
+    A = np.asarray(A, dtype=np.float64)
+    if A.ndim != 2:
+        raise ShapeError(f"{name} must be 2-D, got {A.ndim}-D")
+    if min(A.shape) == 0:
+        raise ShapeError(f"{name} has a zero dimension: shape {A.shape}")
+    if not np.all(np.isfinite(A)):
+        raise ShapeError(f"{name} contains NaN or Inf entries")
+    return np.ascontiguousarray(A)
+
+
+def check_nonnegative(A, name: str = "A") -> None:
+    """Raise :class:`NonNegativityError` if ``A`` has any negative entry."""
+    data = A.data if is_sparse(A) else A
+    if data.size and np.min(data) < 0:
+        raise NonNegativityError(f"{name} must be elementwise nonnegative")
+
+
+def check_rank(k: int, m: int, n: int) -> int:
+    """Validate the target rank ``k`` against the matrix dimensions."""
+    k = int(k)
+    if k < 1:
+        raise ShapeError(f"rank k must be >= 1, got {k}")
+    if k > min(m, n):
+        raise ShapeError(f"rank k={k} exceeds min(m, n)={min(m, n)}")
+    return k
+
+
+def check_factors(W: np.ndarray, H: np.ndarray, m: int, n: int, k: int) -> None:
+    """Validate factor matrix shapes ``W (m×k)`` and ``H (k×n)``."""
+    if W.shape != (m, k):
+        raise ShapeError(f"W must have shape {(m, k)}, got {W.shape}")
+    if H.shape != (k, n):
+        raise ShapeError(f"H must have shape {(k, n)}, got {H.shape}")

@@ -1,0 +1,115 @@
+"""The point-to-point collective algorithms must agree with the native ones."""
+
+import numpy as np
+import pytest
+
+from repro.comm import ReduceOp, run_spmd
+from repro.comm.collectives import (
+    binomial_broadcast,
+    recursive_doubling_allgather,
+    recursive_doubling_allreduce,
+    recursive_halving_reduce_scatter,
+    reduce_scatter_allgather_allreduce,
+    ring_allgather,
+)
+from repro.util.errors import CommunicatorError
+
+
+@pytest.mark.parametrize("p", [1, 2, 3, 4, 6])
+def test_ring_allgather_matches_native(p):
+    def program(comm):
+        rng = np.random.default_rng(comm.rank)
+        local = rng.random((3, 2))
+        via_ring = ring_allgather(comm, local)
+        via_native = comm.allgather(local)
+        for a, b in zip(via_ring, via_native):
+            np.testing.assert_array_equal(a, b)
+        return True
+
+    assert all(run_spmd(p, program))
+
+
+@pytest.mark.parametrize("p", [1, 2, 4, 8])
+def test_recursive_doubling_allgather_matches_native(p):
+    def program(comm):
+        local = np.arange(4, dtype=float) + 10 * comm.rank
+        blocks = recursive_doubling_allgather(comm, local)
+        native = comm.allgather(local)
+        for a, b in zip(blocks, native):
+            np.testing.assert_array_equal(a, b)
+        return True
+
+    assert all(run_spmd(p, program))
+
+
+def test_recursive_doubling_allgather_rejects_non_power_of_two():
+    def program(comm):
+        with pytest.raises(CommunicatorError):
+            recursive_doubling_allgather(comm, np.zeros(2))
+        return True
+
+    assert all(run_spmd(3, program))
+
+
+@pytest.mark.parametrize("p", [1, 2, 4, 8])
+def test_recursive_halving_reduce_scatter_matches_native(p):
+    def program(comm):
+        rng = np.random.default_rng(100 + comm.rank)
+        local = rng.random((p * 3, 2))
+        mine = recursive_halving_reduce_scatter(comm, local)
+        native = comm.reduce_scatter(local)
+        np.testing.assert_allclose(mine, native, rtol=1e-12)
+        return True
+
+    assert all(run_spmd(p, program))
+
+
+@pytest.mark.parametrize("p", [1, 2, 4, 8])
+def test_recursive_doubling_allreduce_matches_native(p):
+    def program(comm):
+        rng = np.random.default_rng(7 + comm.rank)
+        local = rng.random((5, 3))
+        out = recursive_doubling_allreduce(comm, local)
+        native = comm.allreduce(local)
+        np.testing.assert_allclose(out, native, rtol=1e-12)
+        return True
+
+    assert all(run_spmd(p, program))
+
+
+@pytest.mark.parametrize("p", [1, 2, 4, 8])
+def test_rabenseifner_allreduce_matches_native(p):
+    def program(comm):
+        rng = np.random.default_rng(42 + comm.rank)
+        local = rng.random((7, 3))  # deliberately not divisible by p
+        out = reduce_scatter_allgather_allreduce(comm, local)
+        native = comm.allreduce(local)
+        np.testing.assert_allclose(out, native, rtol=1e-12)
+        return True
+
+    assert all(run_spmd(p, program))
+
+
+@pytest.mark.parametrize("p", [1, 2, 3, 5, 8])
+@pytest.mark.parametrize("root", [0, "last"])
+def test_binomial_broadcast_delivers_to_all(p, root):
+    root_rank = (p - 1) if root == "last" else 0
+
+    def program(comm):
+        payload = np.arange(9, dtype=float).reshape(3, 3) if comm.rank == root_rank else None
+        out = binomial_broadcast(comm, payload, root=root_rank)
+        np.testing.assert_array_equal(out, np.arange(9, dtype=float).reshape(3, 3))
+        return True
+
+    assert all(run_spmd(p, program))
+
+
+def test_max_reduce_scatter():
+    def program(comm):
+        local = np.arange(8, dtype=float) * (comm.rank + 1)
+        mine = recursive_halving_reduce_scatter(comm, local, op=ReduceOp.MAX)
+        native = comm.reduce_scatter(local, op=ReduceOp.MAX)
+        np.testing.assert_array_equal(mine, native)
+        return True
+
+    assert all(run_spmd(4, program))

@@ -1,0 +1,228 @@
+"""Unit tests for the SPMD communicator's native collectives."""
+
+import numpy as np
+import pytest
+
+from repro.comm import Comm, ReduceOp, run_spmd
+from repro.comm.cost import CostLedger
+from repro.util.errors import CommunicatorError
+
+
+@pytest.mark.parametrize("p", [1, 2, 3, 4, 7])
+def test_allgather_returns_all_blocks_in_rank_order(p):
+    def program(comm):
+        local = np.full((2, 3), float(comm.rank))
+        gathered = comm.allgather(local)
+        assert len(gathered) == comm.size
+        for r, block in enumerate(gathered):
+            np.testing.assert_array_equal(block, np.full((2, 3), float(r)))
+        return True
+
+    assert all(run_spmd(p, program))
+
+
+@pytest.mark.parametrize("p", [1, 2, 4, 5])
+def test_allgatherv_concatenates_unequal_blocks(p):
+    def program(comm):
+        rows = comm.rank + 1
+        local = np.arange(rows * 2, dtype=float).reshape(rows, 2) + 100 * comm.rank
+        full = comm.allgatherv(local, axis=0)
+        expected = np.concatenate(
+            [np.arange((r + 1) * 2, dtype=float).reshape(r + 1, 2) + 100 * r for r in range(comm.size)],
+            axis=0,
+        )
+        np.testing.assert_array_equal(full, expected)
+        return True
+
+    assert all(run_spmd(p, program))
+
+
+@pytest.mark.parametrize("p", [1, 2, 3, 6])
+def test_allreduce_sum_matches_numpy(p):
+    def program(comm):
+        rng = np.random.default_rng(comm.rank)
+        local = rng.standard_normal((4, 4))
+        total = comm.allreduce(local)
+        expected = sum(np.random.default_rng(r).standard_normal((4, 4)) for r in range(comm.size))
+        np.testing.assert_allclose(total, expected, rtol=1e-12)
+        return True
+
+    assert all(run_spmd(p, program))
+
+
+@pytest.mark.parametrize("op,npfunc", [
+    (ReduceOp.MAX, np.maximum),
+    (ReduceOp.MIN, np.minimum),
+])
+def test_allreduce_max_min(op, npfunc):
+    def program(comm):
+        local = np.array([float(comm.rank), float(-comm.rank)])
+        out = comm.allreduce(local, op=op)
+        contributions = [np.array([float(r), float(-r)]) for r in range(comm.size)]
+        expected = contributions[0]
+        for c in contributions[1:]:
+            expected = npfunc(expected, c)
+        np.testing.assert_array_equal(out, expected)
+        return True
+
+    assert all(run_spmd(4, program))
+
+
+@pytest.mark.parametrize("p", [1, 2, 3, 4])
+def test_reduce_scatter_even_split(p):
+    def program(comm):
+        local = np.full((comm.size * 2, 3), float(comm.rank + 1))
+        mine = comm.reduce_scatter(local)
+        total = sum(r + 1 for r in range(comm.size))
+        assert mine.shape == (2, 3)
+        np.testing.assert_array_equal(mine, np.full((2, 3), float(total)))
+        return True
+
+    assert all(run_spmd(p, program))
+
+
+def test_reduce_scatter_uneven_counts():
+    counts = [3, 1, 2, 4]
+
+    def program(comm):
+        local = np.arange(10, dtype=float) * (comm.rank + 1)
+        mine = comm.reduce_scatter(local, counts=counts)
+        factor = sum(r + 1 for r in range(comm.size))
+        offsets = np.concatenate(([0], np.cumsum(counts)))
+        lo, hi = offsets[comm.rank], offsets[comm.rank + 1]
+        np.testing.assert_allclose(mine, np.arange(10, dtype=float)[lo:hi] * factor)
+        return True
+
+    assert all(run_spmd(4, program))
+
+
+def test_reduce_scatter_rejects_bad_counts():
+    def program(comm):
+        local = np.zeros(10)
+        with pytest.raises(CommunicatorError):
+            comm.reduce_scatter(local, counts=[5, 6])
+        return True
+
+    assert all(run_spmd(2, program))
+
+
+@pytest.mark.parametrize("p", [2, 5])
+def test_bcast_from_nonzero_root(p):
+    def program(comm):
+        root = comm.size - 1
+        payload = np.arange(6, dtype=float) if comm.rank == root else None
+        out = comm.bcast(payload, root=root)
+        np.testing.assert_array_equal(out, np.arange(6, dtype=float))
+        return True
+
+    assert all(run_spmd(p, program))
+
+
+def test_gather_and_scatter_roundtrip():
+    def program(comm):
+        local = np.array([comm.rank, comm.rank * 10], dtype=float)
+        gathered = comm.gather(local, root=0)
+        if comm.rank == 0:
+            assert len(gathered) == comm.size
+            back = comm.scatter(gathered, root=0)
+        else:
+            assert gathered is None
+            back = comm.scatter(None, root=0)
+        np.testing.assert_array_equal(back, local)
+        return True
+
+    assert all(run_spmd(3, program))
+
+
+def test_send_recv_pairwise_exchange():
+    def program(comm):
+        partner = comm.size - 1 - comm.rank
+        payload = np.full(4, float(comm.rank))
+        if partner != comm.rank:
+            comm.send(payload, dest=partner, tag=7)
+            got = comm.recv(source=partner, tag=7)
+            np.testing.assert_array_equal(got, np.full(4, float(partner)))
+        return True
+
+    assert all(run_spmd(4, program))
+
+
+def test_send_to_self_raises():
+    def program(comm):
+        with pytest.raises(CommunicatorError):
+            comm.send(np.zeros(1), dest=comm.rank)
+        return True
+
+    assert all(run_spmd(2, program))
+
+
+def test_split_into_rows_and_columns():
+    pr, pc = 2, 3
+
+    def program(comm):
+        i, j = divmod(comm.rank, pc)
+        row_comm = comm.split(color=i, key=j)
+        col_comm = comm.split(color=j, key=i)
+        assert row_comm.size == pc and row_comm.rank == j
+        assert col_comm.size == pr and col_comm.rank == i
+        # Collectives on the sub-communicators see only group members.
+        row_vals = row_comm.allgather(np.array([float(comm.rank)]))
+        assert [int(v[0]) for v in row_vals] == [i * pc + jj for jj in range(pc)]
+        col_vals = col_comm.allgather(np.array([float(comm.rank)]))
+        assert [int(v[0]) for v in col_vals] == [ii * pc + j for ii in range(pr)]
+        return True
+
+    assert all(run_spmd(pr * pc, program))
+
+
+def test_rank_exception_propagates_to_caller():
+    def program(comm):
+        if comm.rank == 1:
+            raise ValueError("boom on rank 1")
+        comm.barrier()
+        return True
+
+    with pytest.raises((ValueError, CommunicatorError)):
+        run_spmd(3, program)
+
+
+def test_allreduce_deterministic_across_ranks():
+    """All ranks must observe bitwise-identical reduction results."""
+
+    def program(comm):
+        rng = np.random.default_rng(1234 + comm.rank)
+        local = rng.standard_normal((8, 8))
+        out = comm.allreduce(local)
+        digests = comm.allgather_object(out.tobytes())
+        assert all(d == digests[0] for d in digests)
+        return True
+
+    assert all(run_spmd(4, program))
+
+
+def test_ledger_records_collective_volume():
+    ledgers = [CostLedger() for _ in range(4)]
+
+    def program(comm):
+        comm.attach_ledger(ledgers[comm.rank])
+        comm.allreduce(np.zeros((5, 5)))
+        comm.allgather(np.zeros(10))
+        comm.reduce_scatter(np.zeros(8))
+        return True
+
+    assert all(run_spmd(4, program))
+    for ledger in ledgers:
+        assert ledger.calls_for("all_reduce") == 1
+        assert ledger.calls_for("all_gather") == 1
+        assert ledger.calls_for("reduce_scatter") == 1
+        # all-reduce volume: 2 * (p-1)/p * n = 2 * 3/4 * 25
+        assert ledger.words_for("all_reduce") == pytest.approx(2 * 0.75 * 25)
+        assert ledger.words_for("reduce_scatter") == pytest.approx(0.75 * 8)
+
+
+def test_allreduce_scalar():
+    def program(comm):
+        return comm.allreduce_scalar(float(comm.rank + 1))
+
+    results = run_spmd(4, program)
+    assert results == [10.0] * 4

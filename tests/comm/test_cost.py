@@ -1,0 +1,108 @@
+"""Unit tests for the alpha-beta-gamma cost model and the ledger."""
+
+import math
+
+import pytest
+
+from repro.comm.cost import EDISON, AlphaBetaGamma, CollectiveCost, CostLedger
+
+
+@pytest.fixture
+def machine():
+    return AlphaBetaGamma(alpha=1e-6, beta=1e-9, gamma=1e-11, name="test")
+
+
+class TestCollectiveCost:
+    def test_costs_are_zero_for_single_process(self, machine):
+        coll = CollectiveCost(machine)
+        assert coll.all_gather(1, 1000) == 0.0
+        assert coll.reduce_scatter(1, 1000) == 0.0
+        assert coll.all_reduce(1, 1000) == 0.0
+        assert coll.broadcast(1, 1000) == 0.0
+
+    def test_all_gather_formula(self, machine):
+        coll = CollectiveCost(machine)
+        p, n = 8, 1_000_000
+        expected = machine.alpha * 3 + machine.beta * (7 / 8) * n
+        assert coll.all_gather(p, n) == pytest.approx(expected)
+
+    def test_reduce_scatter_adds_gamma_term(self, machine):
+        coll = CollectiveCost(machine)
+        p, n = 4, 1000
+        expected = machine.alpha * 2 + (machine.beta + machine.gamma) * (3 / 4) * n
+        assert coll.reduce_scatter(p, n) == pytest.approx(expected)
+
+    def test_all_reduce_is_double_latency(self, machine):
+        coll = CollectiveCost(machine)
+        p, n = 16, 500
+        expected = 2 * machine.alpha * 4 + (2 * machine.beta + machine.gamma) * (15 / 16) * n
+        assert coll.all_reduce(p, n) == pytest.approx(expected)
+
+    def test_all_reduce_costlier_than_all_gather(self, machine):
+        coll = CollectiveCost(machine)
+        assert coll.all_reduce(8, 1000) > coll.all_gather(8, 1000)
+
+    def test_point_to_point(self, machine):
+        coll = CollectiveCost(machine)
+        assert coll.point_to_point(100) == pytest.approx(machine.alpha + 100 * machine.beta)
+
+    def test_non_power_of_two_uses_log2(self, machine):
+        coll = CollectiveCost(machine)
+        p = 6
+        cost = coll.all_gather(p, 0)
+        assert cost == pytest.approx(machine.alpha * math.log2(6))
+
+
+class TestEdisonPreset:
+    def test_flop_rate_is_per_core_peak(self):
+        assert EDISON.flops_per_second == pytest.approx(19.2e9)
+
+    def test_latency_microseconds(self):
+        assert EDISON.alpha == pytest.approx(1.3e-6)
+
+    def test_message_and_flop_costs(self):
+        assert EDISON.message_cost(0) == EDISON.alpha
+        assert EDISON.flop_cost(19.2e9) == pytest.approx(1.0)
+
+
+class TestCostLedger:
+    def test_record_and_totals(self):
+        ledger = CostLedger()
+        ledger.record("all_gather", p=4, n_words=100)
+        ledger.record("all_reduce", p=4, n_words=10)
+        ledger.record("reduce_scatter", p=4, n_words=40)
+        assert ledger.calls_for("all_gather") == 1
+        assert ledger.words_for("all_gather") == pytest.approx(75.0)
+        assert ledger.words_for("all_reduce") == pytest.approx(2 * 7.5)
+        assert ledger.words_for("reduce_scatter") == pytest.approx(30.0)
+        assert ledger.total_messages > 0
+
+    def test_single_process_records_nothing(self):
+        ledger = CostLedger()
+        ledger.record("all_gather", p=1, n_words=100)
+        assert ledger.total_words == 0.0
+        assert ledger.calls_for("all_gather") == 0
+
+    def test_merge_sums_entries(self):
+        a, b = CostLedger(), CostLedger()
+        a.record("all_gather", 4, 100)
+        b.record("all_gather", 4, 100)
+        b.record("broadcast", 4, 50)
+        merged = a.merge(b)
+        assert merged.words_for("all_gather") == pytest.approx(150.0)
+        assert merged.calls_for("broadcast") == 1
+        # Originals untouched.
+        assert a.words_for("all_gather") == pytest.approx(75.0)
+
+    def test_summary_is_plain_dict(self):
+        ledger = CostLedger()
+        ledger.record("all_reduce", 8, 64)
+        summary = ledger.summary()
+        assert set(summary) == {"all_reduce"}
+        assert summary["all_reduce"]["calls"] == 1
+
+    def test_reset(self):
+        ledger = CostLedger()
+        ledger.record("send", 2, 10)
+        ledger.reset()
+        assert ledger.total_words == 0.0

@@ -1,0 +1,89 @@
+"""Tests for regularized NMF."""
+
+import numpy as np
+import pytest
+
+from repro.core.anls import anls_nmf
+from repro.core.config import NMFConfig
+from repro.core.regularized import (
+    Regularization,
+    regularize_gram_rhs,
+    regularized_nmf,
+    regularized_objective,
+)
+from repro.data.lowrank import planted_lowrank
+from repro.util.errors import ShapeError
+
+
+class TestRegularization:
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ShapeError):
+            Regularization(frobenius=-1.0)
+        with pytest.raises(ShapeError):
+            Regularization(l1=-0.1)
+
+    def test_is_active(self):
+        assert not Regularization().is_active
+        assert Regularization(frobenius=0.1).is_active
+        assert Regularization(l1=0.1).is_active
+
+    def test_gram_rhs_modification(self):
+        gram = np.eye(3)
+        rhs = np.ones((3, 2))
+        g, r = regularize_gram_rhs(gram, rhs, Regularization(frobenius=2.0, l1=1.0))
+        np.testing.assert_array_equal(g, 3.0 * np.eye(3))
+        np.testing.assert_array_equal(r, np.full((3, 2), 0.5))
+        # Inactive regularization returns the inputs untouched.
+        g2, r2 = regularize_gram_rhs(gram, rhs, Regularization())
+        assert g2 is gram and r2 is rhs
+
+
+class TestRegularizedNMF:
+    def test_zero_weights_match_plain_anls(self):
+        A = planted_lowrank(30, 24, 3, seed=0, noise_std=0.02)
+        cfg = NMFConfig(k=3, max_iters=6, seed=5)
+        plain = anls_nmf(A, cfg)
+        reg = regularized_nmf(A, cfg, Regularization())
+        np.testing.assert_allclose(reg.W, plain.W, rtol=1e-10)
+        np.testing.assert_allclose(reg.H, plain.H, rtol=1e-10)
+
+    def test_l1_increases_factor_sparsity(self):
+        A = planted_lowrank(60, 45, 5, seed=1, noise_std=0.05)
+        cfg = NMFConfig(k=5, max_iters=15, seed=2)
+        plain = regularized_nmf(A, cfg, Regularization())
+        sparse = regularized_nmf(A, cfg, Regularization(l1=0.5))
+        zero_frac_plain = np.mean(plain.H < 1e-10) + np.mean(plain.W < 1e-10)
+        zero_frac_sparse = np.mean(sparse.H < 1e-10) + np.mean(sparse.W < 1e-10)
+        assert zero_frac_sparse > zero_frac_plain
+
+    def test_frobenius_shrinks_factor_norms(self):
+        A = planted_lowrank(40, 30, 4, seed=3, noise_std=0.05)
+        cfg = NMFConfig(k=4, max_iters=12, seed=4)
+        plain = regularized_nmf(A, cfg, Regularization())
+        ridge = regularized_nmf(A, cfg, Regularization(frobenius=5.0))
+        assert (np.linalg.norm(ridge.W) + np.linalg.norm(ridge.H)) < (
+            np.linalg.norm(plain.W) + np.linalg.norm(plain.H)
+        )
+
+    def test_penalized_objective_monotone(self):
+        A = planted_lowrank(40, 30, 3, seed=5, noise_std=0.05)
+        cfg = NMFConfig(k=3, max_iters=12, seed=6)
+        res = regularized_nmf(A, cfg, Regularization(frobenius=0.5, l1=0.1))
+        objectives = res.objective_history
+        assert all(b <= a + 1e-6 * abs(a) for a, b in zip(objectives, objectives[1:]))
+
+    def test_factors_nonnegative(self):
+        A = planted_lowrank(30, 20, 3, seed=7)
+        res = regularized_nmf(A, NMFConfig(k=3, max_iters=5), Regularization(l1=1.0))
+        assert np.all(res.W >= 0) and np.all(res.H >= 0)
+
+    def test_objective_helper_adds_penalties(self):
+        W = np.ones((4, 2))
+        H = np.ones((2, 3))
+        base = regularized_objective(10.0, 2.0, W.T @ W, H @ H.T, W, H, Regularization())
+        ridged = regularized_objective(
+            10.0, 2.0, W.T @ W, H @ H.T, W, H, Regularization(frobenius=1.0)
+        )
+        assert ridged == pytest.approx(base + (8.0 + 6.0))
+        l1 = regularized_objective(10.0, 2.0, W.T @ W, H @ H.T, W, H, Regularization(l1=2.0))
+        assert l1 == pytest.approx(base + 2.0 * (8.0 + 6.0))

@@ -1,0 +1,74 @@
+"""Tests for symmetric NMF (graph clustering)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core.symmetric import SymNMFResult, symmetric_nmf
+from repro.util.errors import ShapeError
+
+
+def block_diagonal_graph(n_per_block=30, n_blocks=3, p_in=0.6, p_out=0.02, seed=0):
+    """A graph with dense diagonal blocks (planted communities)."""
+    rng = np.random.default_rng(seed)
+    n = n_per_block * n_blocks
+    labels = np.repeat(np.arange(n_blocks), n_per_block)
+    same = labels[:, None] == labels[None, :]
+    probs = np.where(same, p_in, p_out)
+    A = (rng.random((n, n)) < probs).astype(float)
+    np.fill_diagonal(A, 0.0)
+    return A, labels
+
+
+class TestSymmetricNMF:
+    def test_rejects_non_square(self):
+        with pytest.raises(ShapeError):
+            symmetric_nmf(np.ones((4, 5)), k=2)
+
+    def test_rejects_negative_alpha(self):
+        A, _ = block_diagonal_graph(10, 2)
+        with pytest.raises(ShapeError):
+            symmetric_nmf(A, k=2, alpha=-1.0)
+
+    def test_indicator_shape_and_nonnegativity(self):
+        A, _ = block_diagonal_graph(15, 2, seed=1)
+        res = symmetric_nmf(A, k=2, max_iters=20, seed=1)
+        assert isinstance(res, SymNMFResult)
+        assert res.G.shape == (30, 2)
+        assert np.all(res.G >= 0)
+        assert res.labels.shape == (30,)
+
+    def test_objective_decreases(self):
+        A, _ = block_diagonal_graph(20, 3, seed=2)
+        res = symmetric_nmf(A, k=3, max_iters=25, seed=3)
+        assert res.objective_history[-1] <= res.objective_history[0]
+
+    def test_recovers_planted_communities(self):
+        A, labels = block_diagonal_graph(30, 3, p_in=0.7, p_out=0.01, seed=4)
+        res = symmetric_nmf(A, k=3, max_iters=40, seed=5)
+        # Cluster-label agreement up to permutation: for each found cluster,
+        # the dominant true label should cover most of its members.
+        correct = 0
+        for cluster in range(3):
+            members = np.flatnonzero(res.labels == cluster)
+            if members.size:
+                counts = np.bincount(labels[members], minlength=3)
+                correct += counts.max()
+        assert correct / labels.size > 0.9
+
+    def test_sparse_input(self):
+        A, _ = block_diagonal_graph(20, 2, seed=6)
+        res_sparse = symmetric_nmf(sp.csr_matrix(A), k=2, max_iters=10, seed=7)
+        assert res_sparse.G.shape == (40, 2)
+        assert np.isfinite(res_sparse.objective_history[-1])
+
+    def test_cluster_sizes_sum_to_n(self):
+        A, _ = block_diagonal_graph(12, 2, seed=8)
+        res = symmetric_nmf(A, k=2, max_iters=10, seed=9)
+        assert res.cluster_sizes().sum() == 24
+
+    def test_directed_input_is_symmetrized(self):
+        rng = np.random.default_rng(10)
+        A = (rng.random((25, 25)) < 0.2).astype(float)
+        res = symmetric_nmf(A, k=2, max_iters=10, seed=11)
+        assert np.all(np.isfinite(res.G))

@@ -1,0 +1,128 @@
+"""Tests for MU, HALS and projected-gradient solvers."""
+
+import numpy as np
+import pytest
+
+from repro.nls import (
+    HALSUpdate,
+    MultiplicativeUpdate,
+    ProjectedGradient,
+    available_solvers,
+    make_solver,
+)
+
+
+def quadratic_objective(gram, rhs, x):
+    """½⟨x, G x⟩ − ⟨r, x⟩ (the NLS objective up to a constant)."""
+    return 0.5 * np.sum(x * (gram @ x)) - np.sum(rhs * x)
+
+
+def make_problem(k, c, seed):
+    rng = np.random.default_rng(seed)
+    C = rng.random((5 * k, k)) + 0.01
+    B = rng.random((5 * k, c))
+    return C.T @ C, C.T @ B
+
+
+class TestMultiplicativeUpdate:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_objective_never_increases(self, seed):
+        gram, rhs = make_problem(6, 8, seed)
+        solver = MultiplicativeUpdate(inner_iters=1)
+        x = np.full(rhs.shape, 0.5)
+        prev = quadratic_objective(gram, rhs, x)
+        for _ in range(25):
+            x = solver.solve(gram, rhs, x0=x)
+            current = quadratic_objective(gram, rhs, x)
+            assert current <= prev + 1e-9
+            prev = current
+
+    def test_result_nonnegative_and_finite(self):
+        gram, rhs = make_problem(5, 6, 11)
+        x = MultiplicativeUpdate(inner_iters=5).solve(gram, rhs)
+        assert np.all(x >= 0)
+        assert np.all(np.isfinite(x))
+
+    def test_zero_start_is_replaced_by_positive_constant(self):
+        gram, rhs = make_problem(4, 3, 2)
+        x = MultiplicativeUpdate().solve(gram, rhs, x0=None)
+        assert np.all(x >= 0)
+
+    def test_inner_iters_validation(self):
+        with pytest.raises(ValueError):
+            MultiplicativeUpdate(inner_iters=0)
+
+
+class TestHALS:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_objective_never_increases(self, seed):
+        gram, rhs = make_problem(6, 8, 50 + seed)
+        solver = HALSUpdate(inner_iters=1)
+        x = np.full(rhs.shape, 0.5)
+        prev = quadratic_objective(gram, rhs, x)
+        for _ in range(25):
+            x = solver.solve(gram, rhs, x0=x)
+            current = quadratic_objective(gram, rhs, x)
+            assert current <= prev + 1e-9
+            prev = current
+
+    def test_approaches_bpp_solution_with_many_sweeps(self):
+        gram, rhs = make_problem(5, 4, 3)
+        from repro.nls import BlockPrincipalPivoting
+
+        exact = BlockPrincipalPivoting().solve(gram, rhs)
+        approx = HALSUpdate(inner_iters=500).solve(gram, rhs, x0=np.full(rhs.shape, 0.5))
+        assert quadratic_objective(gram, rhs, approx) <= quadratic_objective(gram, rhs, exact) + 1e-4
+
+    def test_zero_diagonal_row_is_zeroed(self):
+        gram = np.diag([1.0, 0.0, 2.0])
+        rhs = np.ones((3, 2))
+        x = HALSUpdate().solve(gram, rhs, x0=np.ones((3, 2)))
+        np.testing.assert_array_equal(x[1], np.zeros(2))
+
+    def test_inner_iters_validation(self):
+        with pytest.raises(ValueError):
+            HALSUpdate(inner_iters=-1)
+
+
+class TestProjectedGradient:
+    def test_converges_to_kkt_point(self):
+        from repro.nls import check_kkt
+
+        gram, rhs = make_problem(6, 5, 21)
+        solver = ProjectedGradient(max_iters=5000, tol=1e-10)
+        x = solver.solve(gram, rhs)
+        assert np.all(x >= 0)
+        assert check_kkt(gram, rhs, x, tol=1e-4)
+
+    def test_matches_bpp_objective(self):
+        from repro.nls import BlockPrincipalPivoting
+
+        gram, rhs = make_problem(5, 5, 22)
+        exact = BlockPrincipalPivoting().solve(gram, rhs)
+        approx = ProjectedGradient(max_iters=5000, tol=1e-12).solve(gram, rhs)
+        assert quadratic_objective(gram, rhs, approx) <= (
+            quadratic_objective(gram, rhs, exact) + 1e-5
+        )
+
+    def test_reports_convergence_state(self):
+        gram, rhs = make_problem(4, 3, 23)
+        solver = ProjectedGradient(max_iters=5000, tol=1e-8)
+        solver.solve(gram, rhs)
+        assert solver.last_state is not None
+        assert solver.last_state.converged
+
+
+class TestRegistry:
+    def test_available_solvers_lists_all(self):
+        names = available_solvers()
+        assert {"bpp", "mu", "hals", "pgrad", "admm"} <= set(names)
+
+    def test_make_solver_by_name(self):
+        assert make_solver("bpp").name == "bpp"
+        assert make_solver("MU").name == "mu"
+        assert make_solver("hals", inner_iters=3).inner_iters == 3
+
+    def test_unknown_solver_raises(self):
+        with pytest.raises(KeyError):
+            make_solver("simplex")

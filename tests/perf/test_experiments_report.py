@@ -1,0 +1,104 @@
+"""Tests for the experiment drivers and report rendering."""
+
+import pytest
+
+from repro.perf.experiments import (
+    MEASURED_CORE_COUNTS,
+    PAPER_CORE_COUNTS,
+    PAPER_RANKS,
+    comparison_vs_k,
+    measured_breakdown,
+    strong_scaling,
+    table3_grid,
+)
+from repro.perf.model import AlgorithmVariant
+from repro.perf.report import render_breakdown_table, render_table3, to_csv
+from repro.data.registry import measured_scale
+
+
+class TestModeledDrivers:
+    def test_comparison_produces_all_points(self):
+        result = comparison_vs_k("SSYN", mode="modeled")
+        assert len(result.points) == 3 * len(PAPER_RANKS)
+        assert {pt.variant for pt in result.points} == set(AlgorithmVariant)
+        assert all(pt.p == 600 for pt in result.points)
+        assert all(pt.total > 0 for pt in result.points)
+
+    def test_comparison_totals_increase_with_k(self):
+        result = comparison_vs_k("DSYN", mode="modeled")
+        for variant in AlgorithmVariant:
+            totals = [pt.total for pt in result.for_variant(variant)]
+            assert totals == sorted(totals)
+
+    def test_scaling_uses_dense_core_counts_for_dense_data(self):
+        dense = strong_scaling("Video", mode="modeled")
+        sparse = strong_scaling("SSYN", mode="modeled")
+        assert {pt.p for pt in dense.points} == {216, 384, 600}
+        assert {pt.p for pt in sparse.points} == set(PAPER_CORE_COUNTS)
+
+    def test_scaling_totals_decrease_with_cores_for_hpc2d(self):
+        result = strong_scaling("SSYN", mode="modeled")
+        totals = [pt.total for pt in result.for_variant(AlgorithmVariant.HPC_2D)]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_speedup_helper(self):
+        result = comparison_vs_k("SSYN", mode="modeled")
+        speedups = result.speedup(AlgorithmVariant.NAIVE, AlgorithmVariant.HPC_2D)
+        assert len(speedups) == len(PAPER_RANKS)
+        assert all(v > 1.0 for v in speedups.values())
+
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(ValueError):
+            comparison_vs_k("SSYN", mode="guessed")
+        with pytest.raises(ValueError):
+            strong_scaling("SSYN", mode="guessed")
+
+    def test_table3_has_all_cells(self):
+        table = table3_grid(mode="modeled")
+        assert set(table) == {"naive", "hpc1d", "hpc2d"}
+        for variant, per_dataset in table.items():
+            assert set(per_dataset) == {"DSYN", "SSYN", "Video", "Webbase"}
+            assert set(per_dataset["SSYN"]) == set(PAPER_CORE_COUNTS)
+            assert set(per_dataset["DSYN"]) == {216, 384, 600}
+
+
+class TestMeasuredDrivers:
+    def test_measured_breakdown_runs_a_real_factorization(self):
+        spec = measured_scale("SSYN")
+        breakdown = measured_breakdown(spec, AlgorithmVariant.HPC_2D, k=4, n_ranks=2, iterations=2)
+        assert breakdown.total > 0
+        assert breakdown.get("NLS") > 0
+
+    def test_measured_comparison_small(self):
+        result = comparison_vs_k(
+            "Video",
+            mode="measured",
+            ks=[2, 4],
+            cores=2,
+            variants=[AlgorithmVariant.NAIVE, AlgorithmVariant.HPC_2D],
+            measured_iterations=2,
+        )
+        assert len(result.points) == 4
+        assert all(pt.mode == "measured" for pt in result.points)
+        assert all(pt.total > 0 for pt in result.points)
+
+
+class TestReports:
+    def test_render_breakdown_table_contains_all_rows(self):
+        result = comparison_vs_k("Webbase", mode="modeled", ks=[10, 50])
+        text = render_breakdown_table(result, x_axis="k")
+        assert "Naive" in text and "HPC-NMF-2D" in text
+        assert text.count("\n") >= 2 + 6  # header + separator + 6 data rows
+
+    def test_to_csv_round_trips_totals(self):
+        result = comparison_vs_k("SSYN", mode="modeled", ks=[10])
+        csv_text = to_csv(result)
+        lines = csv_text.strip().splitlines()
+        assert lines[0].startswith("dataset,variant,k,p,mode")
+        assert len(lines) == 1 + 3  # header + three variants
+
+    def test_render_table3(self):
+        table = table3_grid(mode="modeled")
+        text = render_table3(table)
+        assert "600" in text
+        assert "naive:DSYN" in text

@@ -1,0 +1,53 @@
+"""Tests for the machine model presets and kernel-efficiency accounting."""
+
+import pytest
+
+from repro.comm.cost import EDISON, LAPTOP
+from repro.perf.machine import EDISON_NODE, MachineSpec, edison_machine
+
+
+def test_edison_per_core_peak_matches_node_spec():
+    per_core = EDISON_NODE["peak_gflops_per_node"] / EDISON_NODE["cores_per_node"]
+    assert EDISON.flops_per_second == pytest.approx(per_core * 1e9)
+
+
+def test_default_machine_uses_edison_network():
+    machine = edison_machine()
+    assert machine.network is EDISON
+    assert machine.name == "edison"
+
+
+def test_efficiency_factors_order_kernel_costs():
+    machine = edison_machine()
+    flops = 1e9
+    # For the same flop count: dense MM is fastest, then Gram, then sparse MM,
+    # then BPP's tiny-kernel regime.
+    assert machine.dense_mm_seconds(flops) < machine.gram_seconds(flops)
+    assert machine.gram_seconds(flops) < machine.sparse_mm_seconds(flops)
+    assert machine.sparse_mm_seconds(flops) < machine.nls_seconds(flops)
+
+
+def test_with_options_returns_new_spec():
+    base = edison_machine()
+    tweaked = base.with_options(dense_mm_efficiency=0.5)
+    assert tweaked.dense_mm_efficiency == 0.5
+    assert base.dense_mm_efficiency == 0.70
+    assert isinstance(tweaked, MachineSpec)
+
+
+def test_override_via_factory_kwargs():
+    machine = edison_machine(bpp_iterations=3.0)
+    assert machine.bpp_iterations == 3.0
+
+
+def test_laptop_preset_is_slower_network_than_flops():
+    # Sanity: both presets have positive constants and laptop latency < Edison's
+    # only in the sense that both are physically plausible (no zero/negative).
+    assert LAPTOP.alpha > 0 and LAPTOP.beta > 0 and LAPTOP.gamma > 0
+    assert EDISON.alpha > 0 and EDISON.beta > 0 and EDISON.gamma > 0
+
+
+def test_collectives_helper_bound_to_network():
+    machine = edison_machine()
+    coll = machine.collectives()
+    assert coll.machine is EDISON

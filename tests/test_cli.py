@@ -1,0 +1,60 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+
+
+def test_datasets_command_lists_registry(capsys):
+    assert main(["datasets"]) == 0
+    out = capsys.readouterr().out
+    assert "dsyn-small" in out and "webbase-paper" in out
+
+
+def test_factorize_registered_dataset(capsys, tmp_path):
+    save = tmp_path / "factors.npz"
+    code = main([
+        "factorize", "video-small", "-k", "3", "--ranks", "2",
+        "--algorithm", "hpc2d", "--iters", "3", "--save", str(save),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "relative error" in out
+    with np.load(save) as data:
+        assert data["W"].shape[1] == 3
+        assert data["H"].shape[0] == 3
+
+
+def test_factorize_npy_file(capsys, tmp_path):
+    path = tmp_path / "matrix.npy"
+    np.save(path, np.abs(np.random.default_rng(0).standard_normal((30, 20))))
+    code = main(["factorize", str(path), "-k", "2", "--algorithm", "sequential",
+                 "--iters", "2"])
+    assert code == 0
+    assert "k=2" in capsys.readouterr().out
+
+
+def test_factorize_missing_input_errors():
+    with pytest.raises(SystemExit):
+        main(["factorize", "definitely-not-a-dataset", "-k", "2"])
+
+
+def test_experiment_comparison_modeled(capsys, tmp_path):
+    csv_path = tmp_path / "fig.csv"
+    code = main(["experiment", "comparison", "--dataset", "SSYN", "--csv", str(csv_path)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "HPC-NMF-2D" in out
+    assert csv_path.exists()
+    assert csv_path.read_text().startswith("dataset,variant")
+
+
+def test_experiment_table3(capsys):
+    assert main(["experiment", "table3"]) == 0
+    assert "naive:DSYN" in capsys.readouterr().out
+
+
+def test_experiment_scaling(capsys):
+    assert main(["experiment", "scaling", "--dataset", "Video"]) == 0
+    assert "Video" in capsys.readouterr().out

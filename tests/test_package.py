@@ -1,0 +1,58 @@
+"""Package-level tests: lazy exports, version, initialization conventions."""
+
+import numpy as np
+import pytest
+
+import repro
+from repro.core.initialization import (
+    init_h_global,
+    init_h_local,
+    init_h_slice,
+    init_w_global,
+)
+
+
+class TestLazyExports:
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2
+
+    def test_lazy_attributes_resolve(self):
+        assert callable(repro.nmf)
+        assert callable(repro.parallel_nmf)
+        assert repro.NMFConfig(k=3).k == 3
+        assert repro.NMFResult is not None
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            repro.not_a_real_symbol
+
+    def test_dir_lists_exports(self):
+        listing = dir(repro)
+        for name in ("nmf", "parallel_nmf", "NMFConfig", "NMFResult"):
+            assert name in listing
+
+
+class TestInitialization:
+    def test_slices_of_global_h_reassemble_exactly(self):
+        k, n, seed = 4, 37, 11
+        full = init_h_global(k, n, seed)
+        pieces = [init_h_slice(k, n, seed, (lo, lo + 9)) for lo in range(0, 36, 9)]
+        pieces.append(init_h_slice(k, n, seed, (36, 37)))
+        np.testing.assert_array_equal(np.concatenate(pieces, axis=1), full)
+
+    def test_global_h_deterministic_and_nonnegative(self):
+        a = init_h_global(3, 10, 5)
+        b = init_h_global(3, 10, 5)
+        np.testing.assert_array_equal(a, b)
+        assert np.all(a >= 0) and np.all(a < 1)
+
+    def test_local_init_differs_between_ranks(self):
+        a = init_h_local(3, 8, seed=1, rank=0)
+        b = init_h_local(3, 8, seed=1, rank=1)
+        assert a.shape == b.shape == (3, 8)
+        assert not np.allclose(a, b)
+
+    def test_w_init_differs_from_h_init(self):
+        W = init_w_global(10, 3, seed=2)
+        H = init_h_global(3, 10, seed=2)
+        assert not np.allclose(W, H.T)

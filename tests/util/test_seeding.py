@@ -1,0 +1,40 @@
+"""Unit tests for deterministic per-rank seeding."""
+
+import numpy as np
+import pytest
+
+from repro.util.seeding import per_rank_seed, spawn_rng
+
+
+def test_same_inputs_same_seed():
+    assert per_rank_seed(42, 3) == per_rank_seed(42, 3)
+
+
+def test_different_ranks_different_seeds():
+    seeds = {per_rank_seed(7, r) for r in range(200)}
+    assert len(seeds) == 200
+
+
+def test_different_base_seeds_different_seeds():
+    assert per_rank_seed(1, 0) != per_rank_seed(2, 0)
+
+
+def test_negative_rank_rejected():
+    with pytest.raises(ValueError):
+        per_rank_seed(0, -1)
+
+
+def test_spawn_rng_reproducible():
+    a = spawn_rng(5, 2).random(10)
+    b = spawn_rng(5, 2).random(10)
+    np.testing.assert_array_equal(a, b)
+
+
+def test_spawn_rng_rank_independence():
+    a = spawn_rng(5, 0).random(10)
+    b = spawn_rng(5, 1).random(10)
+    assert not np.allclose(a, b)
+
+
+def test_large_rank_supported():
+    assert per_rank_seed(0, 1500) >= 0

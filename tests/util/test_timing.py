@@ -1,0 +1,32 @@
+"""Unit tests for the accumulating timer."""
+
+from repro.util.timing import Timer, WallClock
+
+
+class FakeClock(WallClock):
+    def __init__(self):
+        self.value = 0.0
+
+    def now(self):
+        return self.value
+
+
+def test_timer_accumulates_and_counts():
+    clock = FakeClock()
+    timer = Timer(clock=clock)
+    with timer:
+        clock.value += 1.5
+    with timer:
+        clock.value += 0.5
+    assert timer.total == 2.0
+    assert timer.calls == 2
+
+
+def test_timer_reset():
+    clock = FakeClock()
+    timer = Timer(clock=clock)
+    with timer:
+        clock.value += 1.0
+    timer.reset()
+    assert timer.total == 0.0
+    assert timer.calls == 0

@@ -1,0 +1,105 @@
+"""Unit tests for input validation helpers."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.util.errors import NonNegativityError, ShapeError
+from repro.util.validation import (
+    as_dense,
+    check_matrix,
+    check_nonnegative,
+    check_rank,
+    is_sparse,
+)
+from repro.util.validation import check_factors
+
+
+class TestCheckMatrix:
+    def test_dense_list_is_converted_to_float64(self):
+        A = check_matrix([[1, 2], [3, 4]])
+        assert isinstance(A, np.ndarray)
+        assert A.dtype == np.float64
+        assert A.flags["C_CONTIGUOUS"]
+
+    def test_sparse_is_converted_to_csr(self):
+        A = check_matrix(sp.coo_matrix(np.eye(3)))
+        assert sp.issparse(A)
+        assert A.format == "csr"
+
+    def test_sparse_rejected_when_not_allowed(self):
+        with pytest.raises(ShapeError):
+            check_matrix(sp.eye(3), allow_sparse=False)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ShapeError):
+            check_matrix(np.arange(5))
+
+    def test_rejects_empty_dimension(self):
+        with pytest.raises(ShapeError):
+            check_matrix(np.zeros((0, 4)))
+
+    def test_rejects_nan(self):
+        A = np.ones((3, 3))
+        A[1, 1] = np.nan
+        with pytest.raises(ShapeError):
+            check_matrix(A)
+
+    def test_rejects_inf(self):
+        A = np.ones((3, 3))
+        A[0, 2] = np.inf
+        with pytest.raises(ShapeError):
+            check_matrix(A)
+
+
+class TestCheckNonnegative:
+    def test_accepts_nonnegative_dense(self):
+        check_nonnegative(np.abs(np.random.default_rng(0).standard_normal((4, 4))))
+
+    def test_rejects_negative_dense(self):
+        A = np.ones((3, 3))
+        A[2, 2] = -0.5
+        with pytest.raises(NonNegativityError):
+            check_nonnegative(A)
+
+    def test_rejects_negative_sparse(self):
+        A = sp.csr_matrix(np.array([[0.0, -1.0], [2.0, 0.0]]))
+        with pytest.raises(NonNegativityError):
+            check_nonnegative(A)
+
+    def test_accepts_empty_sparse(self):
+        check_nonnegative(sp.csr_matrix((5, 5)))
+
+
+class TestCheckRank:
+    def test_valid_rank_passes(self):
+        assert check_rank(3, 10, 8) == 3
+
+    def test_rank_zero_rejected(self):
+        with pytest.raises(ShapeError):
+            check_rank(0, 10, 10)
+
+    def test_rank_above_min_dim_rejected(self):
+        with pytest.raises(ShapeError):
+            check_rank(9, 10, 8)
+
+
+class TestCheckFactors:
+    def test_shapes_must_match(self):
+        W = np.zeros((5, 2))
+        H = np.zeros((2, 7))
+        check_factors(W, H, 5, 7, 2)
+        with pytest.raises(ShapeError):
+            check_factors(W, H, 6, 7, 2)
+        with pytest.raises(ShapeError):
+            check_factors(W, H, 5, 7, 3)
+
+
+class TestConversions:
+    def test_as_dense_on_sparse(self):
+        A = sp.csr_matrix(np.arange(6, dtype=float).reshape(2, 3))
+        np.testing.assert_array_equal(as_dense(A), np.arange(6, dtype=float).reshape(2, 3))
+
+    def test_is_sparse(self):
+        assert is_sparse(sp.eye(2))
+        assert not is_sparse(np.eye(2))
