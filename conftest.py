@@ -1,0 +1,13 @@
+"""Pytest bootstrap: make the ``src/`` layout importable without installation.
+
+With this, a plain ``python -m pytest -q`` works from the repo root; the
+``PYTHONPATH=src`` prefix (and ``pip install -e .``) remain equivalent
+alternatives — see README.md.
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = str(Path(__file__).resolve().parent / "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)

@@ -7,8 +7,11 @@ Factorization" (Kannan, Ballard, Park; PPoPP 2016):
 * an MPI-like SPMD communication substrate (:mod:`repro.comm`) with the
   collectives the paper relies on (all-gather, reduce-scatter, all-reduce) and
   an alpha-beta-gamma cost model,
-* distributed dense/sparse matrices on 1D and 2D processor grids
-  (:mod:`repro.dist`),
+* distributed dense/sparse matrices and factors on 1D and 2D processor grids
+  (:mod:`repro.dist`): the block layout (:mod:`repro.dist.partition`), the
+  ``A_ij`` data blocks (:mod:`repro.dist.distmatrix`), the ``(W_i)_j`` /
+  ``(H_j)_i`` factor sub-blocks (:mod:`repro.dist.factors`) and sparse
+  load-balance diagnostics (:mod:`repro.dist.load_balance`),
 * the local nonnegative-least-squares solvers the ANLS framework plugs in —
   Block Principal Pivoting, Multiplicative Update, HALS and more
   (:mod:`repro.nls`),

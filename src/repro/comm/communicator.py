@@ -301,8 +301,10 @@ class Comm:
         call, rank ``r`` owns the ``r``-th block (of size ``counts[r]`` along
         ``axis``) of the elementwise reduction.  If ``counts`` is omitted the
         axis is split as evenly as possible (first ``remainder`` blocks one
-        element larger), matching the block partitioning in
-        :mod:`repro.dist.partition`.
+        element larger), matching
+        :func:`repro.dist.partition.block_counts` — so a count-less
+        reduce-scatter lands each rank exactly on the block that
+        :mod:`repro.dist` assigns it.
         """
         array = np.asarray(array)
         length = array.shape[axis]

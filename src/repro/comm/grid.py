@@ -102,10 +102,13 @@ class GridShape:
 class ProcessGrid:
     """A ``pr × pc`` Cartesian grid over an existing communicator.
 
-    Builds the row communicator (all processes with the same grid row ``i``,
-    used by the reduce-scatter/all-gather over ``H`` blocks in Algorithm 3)
-    and the column communicator (same grid column ``j``, used for the ``W``
-    blocks).
+    Builds the row communicator (all ``pc`` processes with the same grid row
+    ``i``, which carries the ``W`` collectives of Algorithm 3: the all-gather
+    of ``W_i`` and the reduce-scatter of ``(A Hᵀ)_i``) and the column
+    communicator (the ``pr`` processes with the same grid column ``j``, which
+    carries the ``H`` collectives: the all-gather of ``H_j`` and the
+    reduce-scatter of ``(Wᵀ A)_j``).  The factor sub-blocks these collectives
+    produce and consume live in :mod:`repro.dist.factors`.
 
     Parameters
     ----------

@@ -1,0 +1,139 @@
+"""Distributed factor matrices ``W`` and ``H`` for Algorithm 3 (Figure 2).
+
+Both factors are ``p``-way partitioned over the whole ``pr × pc`` grid, but
+along *different* axes and with different nesting:
+
+* ``W (m × k)`` is split by **rows**: grid row ``i`` collectively owns the
+  block ``W_i (m/pr × k)``, and within that row, process ``(i, j)`` owns the
+  sub-block ``(W_i)_j (m/p × k)`` — the ``j``-th row chunk of ``W_i``.
+* ``H (k × n)`` is split by **columns**: grid column ``j`` collectively owns
+  ``H_j (k × n/pc)``, and process ``(i, j)`` owns ``(H_j)_i (k × n/p)`` — the
+  ``i``-th column chunk of ``H_j``.
+
+The nesting is what makes Algorithm 3's collectives line up exactly:
+
+* an **all-gather over the grid column** (the ``pr`` processes sharing column
+  ``j``) concatenates the ``(H_j)_i`` into ``H_j`` (line 5) — provided by
+  :meth:`DistributedFactorH.col_block`;
+* an **all-gather over the grid row** (the ``pc`` processes sharing row
+  ``i``) concatenates the ``(W_i)_j`` into ``W_i`` (line 11) — provided by
+  :meth:`DistributedFactorW.row_block`;
+* the **reduce-scatters** (lines 7 and 13) split ``(A Hᵀ)_i`` / ``(Wᵀ A)_j``
+  with ``block_counts`` over the same communicators, so each rank receives
+  precisely the rows/columns of its own sub-block — no redistribution step
+  exists anywhere in the algorithm.
+
+Ownership invariant: the ``global_range`` intervals of all ``p`` ranks tile
+``[0, m)`` (for ``W``) / ``[0, n)`` (for ``H``) without gaps or overlap, so
+concatenating every rank's ``local`` reassembles the global factor exactly
+(this is what :func:`repro.core.hpc_nmf.assemble_hpc_result` does).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.dist.partition import block_range
+
+
+def _nested_range(outer: Tuple[int, int], parts: int, index: int) -> Tuple[int, int]:
+    """Global range of sub-block ``index`` of ``parts`` within ``outer``."""
+    lo, hi = outer
+    s0, s1 = block_range(hi - lo, parts, index)
+    return lo + s0, lo + s1
+
+
+class DistributedFactorW:
+    """This rank's sub-block ``(W_i)_j`` of the row-partitioned ``W (m × k)``.
+
+    Attributes
+    ----------
+    local:
+        The ``(W_i)_j`` block, shape ``(global_range[1] - global_range[0], k)``.
+        Assignable: the NLS solve of line 8 overwrites it every iteration.
+    global_range:
+        Half-open global *row* range of ``local`` within ``W``.
+    block_range_in_row:
+        The same range relative to ``W_i`` (used by the reduce-scatter
+        counts, which are local to the grid row).
+    """
+
+    def __init__(self, grid, m: int, k: int):
+        self.grid = grid
+        self.m = int(m)
+        self.k = int(k)
+        i, j = grid.coords
+        self.row_block_range = block_range(self.m, grid.pr, i)   # rows of W_i
+        self.global_range = _nested_range(self.row_block_range, grid.pc, j)
+        lo, hi = self.global_range
+        self.block_range_in_row = (lo - self.row_block_range[0], hi - self.row_block_range[0])
+        self.local = np.zeros((hi - lo, self.k))
+
+    @classmethod
+    def zeros(cls, grid, m: int, k: int) -> "DistributedFactorW":
+        """An all-zero ``(W_i)_j`` (W needs no initialisation; see §6.1.3)."""
+        return cls(grid, m, k)
+
+    def row_block(self) -> np.ndarray:
+        """All-gather ``W_i (m/pr × k)`` over the grid row (line 11, collective).
+
+        The row communicator orders ranks by grid column ``j``, matching the
+        sub-block order, so a plain concatenation along axis 0 reassembles
+        ``W_i`` with its rows in global order.
+        """
+        return self.grid.row_comm.allgatherv(self.local, axis=0)
+
+    def __repr__(self) -> str:
+        return (
+            f"DistributedFactorW(rank={self.grid.rank}, rows={self.global_range}, "
+            f"k={self.k})"
+        )
+
+
+class DistributedFactorH:
+    """This rank's sub-block ``(H_j)_i`` of the column-partitioned ``H (k × n)``.
+
+    Attributes
+    ----------
+    local:
+        The ``(H_j)_i`` block, shape ``(k, global_range[1] - global_range[0])``.
+        Assignable: seeded by ``init_h_slice`` and overwritten by the NLS
+        solve of line 14 every iteration.
+    global_range:
+        Half-open global *column* range of ``local`` within ``H``.
+    block_range_in_col:
+        The same range relative to ``H_j`` (grid-column-local coordinates).
+    """
+
+    def __init__(self, grid, k: int, n: int):
+        self.grid = grid
+        self.k = int(k)
+        self.n = int(n)
+        i, j = grid.coords
+        self.col_block_range = block_range(self.n, grid.pc, j)   # columns of H_j
+        self.global_range = _nested_range(self.col_block_range, grid.pr, i)
+        lo, hi = self.global_range
+        self.block_range_in_col = (lo - self.col_block_range[0], hi - self.col_block_range[0])
+        self.local = np.zeros((self.k, hi - lo))
+
+    @classmethod
+    def zeros(cls, grid, k: int, n: int) -> "DistributedFactorH":
+        """An all-zero ``(H_j)_i`` (callers seed it with ``init_h_slice``)."""
+        return cls(grid, k, n)
+
+    def col_block(self) -> np.ndarray:
+        """All-gather ``H_j (k × n/pc)`` over the grid column (line 5, collective).
+
+        The column communicator orders ranks by grid row ``i``, matching the
+        sub-block order, so concatenation along axis 1 reassembles ``H_j``
+        with its columns in global order.
+        """
+        return self.grid.col_comm.allgatherv(self.local, axis=1)
+
+    def __repr__(self) -> str:
+        return (
+            f"DistributedFactorH(rank={self.grid.rank}, cols={self.global_range}, "
+            f"k={self.k})"
+        )

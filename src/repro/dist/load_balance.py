@@ -1,0 +1,128 @@
+"""Nonzero load balance of the 2D block distribution (paper §7, future work).
+
+For dense matrices the uniform block distribution is perfectly balanced by
+construction (block sizes differ by at most one row/column).  For *sparse*
+matrices the flop cost of the local multiplies is proportional to
+``nnz(A_ij)``, and real-world graphs concentrate nonzeros on hub vertices, so
+a uniform index split can leave one block with many times the average work.
+The paper's future-work section calls this out; this module quantifies it and
+implements the standard mitigation:
+
+* :func:`imbalance_factor` — the ``max / mean`` nonzero count over the
+  ``pr × pc`` blocks (1.0 is perfect balance; the slowest rank runs the
+  computation ``imbalance×`` longer than the average);
+* :func:`random_permutation_balance` — apply independent random row and
+  column permutations, which destroys the spatial clustering of hubs and
+  brings the expected per-block nnz close to uniform (at the cost of
+  destroying any natural ordering of the data).
+
+Both accept dense and sparse inputs so benchmarks can compare like for like.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.dist.partition import block_offsets
+from repro.util.errors import PartitionError
+from repro.util.validation import is_sparse
+
+
+@dataclass(frozen=True)
+class LoadBalanceReport:
+    """Per-block nonzero statistics of one ``pr × pc`` distribution."""
+
+    pr: int
+    pc: int
+    nnz_per_block: np.ndarray      # shape (pr, pc)
+    total_nnz: int
+    max_nnz: int
+    min_nnz: int
+    mean_nnz: float
+    imbalance: float               # max_nnz / mean_nnz, 1.0 when empty
+
+    def __str__(self) -> str:
+        return (
+            f"LoadBalanceReport(grid={self.pr}x{self.pc}, nnz={self.total_nnz}, "
+            f"max={self.max_nnz}, mean={self.mean_nnz:.1f}, "
+            f"imbalance={self.imbalance:.2f})"
+        )
+
+
+def nnz_per_block(A, pr: int, pc: int) -> np.ndarray:
+    """Count the nonzeros landing in each block of the ``pr × pc`` distribution.
+
+    Uses the same remainder-spreading boundaries as
+    :mod:`repro.dist.partition`, so the counts are exactly what each rank of a
+    :class:`~repro.dist.distmatrix.DistMatrix2D` would report as ``local_nnz``.
+    """
+    if pr < 1 or pc < 1:
+        raise PartitionError(f"grid dimensions must be >= 1, got {pr}x{pc}")
+    m, n = A.shape
+    if is_sparse(A):
+        coo = A.tocoo()
+        rows, cols = coo.row, coo.col
+    else:
+        rows, cols = np.nonzero(np.asarray(A))
+    row_edges = np.asarray(block_offsets(m, pr))
+    col_edges = np.asarray(block_offsets(n, pc))
+    i = np.searchsorted(row_edges, rows, side="right") - 1
+    j = np.searchsorted(col_edges, cols, side="right") - 1
+    flat = np.bincount(i * pc + j, minlength=pr * pc)
+    return flat.reshape(pr, pc)
+
+
+def imbalance_factor(A, pr: int, pc: int) -> LoadBalanceReport:
+    """Nonzero imbalance of ``A`` under the uniform ``pr × pc`` block split.
+
+    Returns a :class:`LoadBalanceReport`; its ``imbalance`` is
+    ``max(nnz_per_block) / mean(nnz_per_block)`` — the factor by which the
+    most loaded rank exceeds the average (and hence, to first order, the
+    slowdown of the bulk-synchronous iteration relative to perfect balance).
+    """
+    counts = nnz_per_block(A, pr, pc)
+    total = int(counts.sum())
+    mean = total / counts.size
+    imbalance = float(counts.max() / mean) if total > 0 else 1.0
+    return LoadBalanceReport(
+        pr=int(pr),
+        pc=int(pc),
+        nnz_per_block=counts,
+        total_nnz=total,
+        max_nnz=int(counts.max()),
+        min_nnz=int(counts.min()),
+        mean_nnz=mean,
+        imbalance=imbalance,
+    )
+
+
+def random_permutation_balance(
+    A, seed: int = 0
+) -> Tuple[object, np.ndarray, np.ndarray]:
+    """Randomly permute rows and columns to spread dense rows/columns over blocks.
+
+    Returns ``(permuted, row_perm, col_perm)`` with
+    ``permuted[i, j] == A[row_perm[i], col_perm[j]]``.  NMF is equivalent up
+    to the same permutations of the factors: if ``W', H'`` factorize the
+    permuted matrix then ``W'[argsort(row_perm)], H'[:, argsort(col_perm)]``
+    factorize ``A``, so the mitigation changes the layout, not the problem.
+    """
+    m, n = A.shape
+    rng = np.random.default_rng(seed)
+    row_perm = rng.permutation(m)
+    col_perm = rng.permutation(n)
+    if is_sparse(A):
+        permuted = A.tocsr()[row_perm, :][:, col_perm].tocsr()
+    else:
+        permuted = np.ascontiguousarray(np.asarray(A)[np.ix_(row_perm, col_perm)])
+    return permuted, row_perm, col_perm
+
+
+def unpermute_factors(
+    W: np.ndarray, H: np.ndarray, row_perm: np.ndarray, col_perm: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Map factors of the permuted matrix back to the original index order."""
+    return W[np.argsort(row_perm)], H[:, np.argsort(col_perm)]

@@ -1,0 +1,79 @@
+"""Property tests for the block partition invariants (ISSUE 1).
+
+The whole distributed layer rests on these: the blocks must cover every
+index exactly once and be balanced to within one element.  Hypothesis
+exercises the full (n, p) space including the degenerate p > n corner.
+"""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dist.partition import block_counts, block_offsets, block_range, owning_rank
+from repro.util.errors import PartitionError
+
+sizes = st.integers(min_value=0, max_value=500)
+nparts = st.integers(min_value=1, max_value=64)
+
+
+@given(n=sizes, p=nparts)
+def test_counts_sum_to_n(n, p):
+    assert sum(block_counts(n, p)) == n
+
+
+@given(n=sizes, p=nparts)
+def test_counts_balanced_within_one(n, p):
+    counts = block_counts(n, p)
+    assert max(counts) - min(counts) <= 1
+
+
+@given(n=sizes, p=nparts)
+def test_counts_are_nonincreasing(n, p):
+    # Remainder is spread over the *first* blocks, matching the communicator's
+    # default reduce-scatter counts.
+    counts = block_counts(n, p)
+    assert all(a >= b for a, b in zip(counts, counts[1:]))
+
+
+@given(n=sizes, p=nparts)
+def test_ranges_tile_the_index_space(n, p):
+    ranges = [block_range(n, p, r) for r in range(p)]
+    # In order, contiguous, covering [0, n) exactly.
+    assert ranges[0][0] == 0
+    assert ranges[-1][1] == n
+    for (_, hi), (lo, _) in zip(ranges, ranges[1:]):
+        assert hi == lo
+
+
+@given(n=sizes, p=nparts)
+def test_ranges_match_offsets_and_counts(n, p):
+    offsets = block_offsets(n, p)
+    counts = block_counts(n, p)
+    assert len(offsets) == p + 1
+    for r in range(p):
+        lo, hi = block_range(n, p, r)
+        assert (lo, hi) == (offsets[r], offsets[r + 1])
+        assert hi - lo == counts[r]
+
+
+@given(n=st.integers(min_value=1, max_value=500), p=nparts, data=st.data())
+def test_owning_rank_inverts_block_range(n, p, data):
+    index = data.draw(st.integers(min_value=0, max_value=n - 1))
+    r = owning_rank(n, p, index)
+    lo, hi = block_range(n, p, r)
+    assert lo <= index < hi
+
+
+@pytest.mark.parametrize(
+    "call",
+    [
+        lambda: block_counts(-1, 2),
+        lambda: block_counts(10, 0),
+        lambda: block_range(10, 3, 3),
+        lambda: block_range(10, 3, -1),
+        lambda: owning_rank(10, 3, 10),
+        lambda: owning_rank(10, 3, -1),
+    ],
+)
+def test_invalid_arguments_raise(call):
+    with pytest.raises(PartitionError):
+        call()
