@@ -16,7 +16,8 @@ dataset; each call
 
 from __future__ import annotations
 
-from typing import Callable, Sequence, Tuple
+import os
+from typing import Callable, Optional, Sequence, Tuple
 
 from repro.perf.experiments import (
     ExperimentResult,
@@ -27,6 +28,15 @@ from repro.perf.experiments import (
 from repro.perf.model import AlgorithmVariant
 from repro.perf.report import render_breakdown_table, to_csv
 from repro.data.registry import measured_scale
+
+
+def _resolve_backend(backend: Optional[str]) -> str:
+    """Measured-mode SPMD backend: explicit argument, else $REPRO_BENCH_BACKEND.
+
+    The environment hook lets CI smoke-run the figures on the deterministic
+    lockstep backend without touching the per-figure benchmark files.
+    """
+    return backend or os.environ.get("REPRO_BENCH_BACKEND", "thread")
 
 
 def _headline_speedups(result: ExperimentResult) -> str:
@@ -43,11 +53,13 @@ def run_comparison_figure(
     write_artifact: Callable[[str, str], object],
     measured_ks: Sequence[int] = (2, 4, 8),
     measured_ranks: int = 4,
+    backend: Optional[str] = None,
 ) -> Tuple[Callable[[], object], str]:
     """Regenerate one 'comparison vs k' panel (Figure 3 a/c/e/g).
 
     Returns ``(benchmark_callable, summary_text)``.
     """
+    backend = _resolve_backend(backend)
     modeled = comparison_vs_k(dataset, mode="modeled")
     measured = comparison_vs_k(
         dataset,
@@ -55,6 +67,7 @@ def run_comparison_figure(
         ks=list(measured_ks),
         cores=measured_ranks,
         measured_iterations=2,
+        backend=backend,
     )
     text = "\n\n".join(
         [
@@ -76,7 +89,7 @@ def run_comparison_figure(
     def benchmark_target():
         return measured_breakdown(
             spec, AlgorithmVariant.HPC_2D, k=max(measured_ks), n_ranks=measured_ranks,
-            iterations=1,
+            iterations=1, backend=backend,
         )
 
     return benchmark_target, text
@@ -88,8 +101,10 @@ def run_scaling_figure(
     write_artifact: Callable[[str, str], object],
     measured_rank_counts: Sequence[int] = (1, 2, 4),
     measured_k: int = 8,
+    backend: Optional[str] = None,
 ) -> Tuple[Callable[[], object], str]:
     """Regenerate one 'strong scaling' panel (Figure 3 b/d/f/h)."""
+    backend = _resolve_backend(backend)
     modeled = strong_scaling(dataset, mode="modeled", k=50)
     measured = strong_scaling(
         dataset,
@@ -97,6 +112,7 @@ def run_scaling_figure(
         k=measured_k,
         core_counts=list(measured_rank_counts),
         measured_iterations=2,
+        backend=backend,
     )
     text = "\n\n".join(
         [
@@ -120,6 +136,7 @@ def run_scaling_figure(
             k=min(measured_k, 8),
             n_ranks=max(measured_rank_counts),
             iterations=1,
+            backend=backend,
         )
 
     return benchmark_target, text

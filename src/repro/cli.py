@@ -18,6 +18,7 @@ from pathlib import Path
 import numpy as np
 import scipy.sparse as sp
 
+from repro.comm.backends import available_backends
 from repro.core.api import nmf, parallel_nmf
 from repro.data.registry import DATASETS, load_dataset
 from repro.perf.experiments import comparison_vs_k, strong_scaling, table3_grid
@@ -53,6 +54,7 @@ def _cmd_factorize(args: argparse.Namespace) -> int:
             args.k,
             n_ranks=max(args.ranks, 1),
             algorithm=args.algorithm,
+            backend=args.backend,
             max_iters=args.iters,
             solver=args.solver,
             seed=args.seed,
@@ -67,15 +69,19 @@ def _cmd_factorize(args: argparse.Namespace) -> int:
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
     if args.name == "table3":
-        table = table3_grid(mode=args.mode, k=50 if args.mode == "modeled" else 8)
+        table = table3_grid(
+            mode=args.mode,
+            k=50 if args.mode == "modeled" else 8,
+            backend=args.backend,
+        )
         print(render_table3(table))
         return 0
     dataset = args.dataset or "SSYN"
     if args.name == "comparison":
-        result = comparison_vs_k(dataset, mode=args.mode)
+        result = comparison_vs_k(dataset, mode=args.mode, backend=args.backend)
         print(render_breakdown_table(result, x_axis="k"))
     elif args.name == "scaling":
-        result = strong_scaling(dataset, mode=args.mode)
+        result = strong_scaling(dataset, mode=args.mode, backend=args.backend)
         print(render_breakdown_table(result, x_axis="p"))
     else:  # pragma: no cover - argparse choices prevent this
         raise SystemExit(f"unknown experiment {args.name!r}")
@@ -106,6 +112,9 @@ def build_parser() -> argparse.ArgumentParser:
     fact.add_argument("--ranks", type=int, default=1, help="number of SPMD ranks")
     fact.add_argument("--algorithm", default="hpc2d",
                       choices=["sequential", "naive", "hpc1d", "hpc2d"])
+    fact.add_argument("--backend", default="thread", choices=available_backends(),
+                      help="SPMD execution backend (lockstep = deterministic, "
+                           "scales to hundreds of simulated ranks)")
     fact.add_argument("--solver", default="bpp",
                       choices=["bpp", "mu", "hals", "pgrad", "admm"])
     fact.add_argument("--iters", type=int, default=20, help="outer iterations")
@@ -117,6 +126,8 @@ def build_parser() -> argparse.ArgumentParser:
     exp.add_argument("name", choices=["comparison", "scaling", "table3"])
     exp.add_argument("--dataset", choices=["DSYN", "SSYN", "Video", "Webbase"])
     exp.add_argument("--mode", default="modeled", choices=["modeled", "measured"])
+    exp.add_argument("--backend", default="thread", choices=available_backends(),
+                     help="SPMD execution backend for measured mode")
     exp.add_argument("--csv", help="also write the series to this CSV path")
     exp.set_defaults(func=_cmd_experiment)
 

@@ -3,16 +3,22 @@
 The paper's implementation is C++/MPI.  This package provides the equivalent
 substrate in pure Python:
 
-* :class:`~repro.comm.backend.ThreadBackend` runs one Python thread per rank
-  executing the same per-rank (SPMD) program, exchanging numpy buffers through
-  shared memory;
+* :mod:`~repro.comm.backends` supplies pluggable execution backends behind a
+  registry: ``"thread"`` (:class:`ThreadBackend`, one Python thread per rank,
+  real overlap wherever BLAS releases the GIL) and ``"lockstep"``
+  (:class:`LockstepBackend`, deterministic rank-ordered cooperative
+  scheduling that can simulate hundreds of ranks and diagnoses deadlocks
+  exactly);
 * :class:`~repro.comm.communicator.Comm` exposes the MPI operations the
   paper's algorithms use — ``send``/``recv``, ``bcast``, ``allgather``,
   ``reduce_scatter``, ``allreduce``, ``barrier``, ``split`` — with
-  numpy-buffer semantics (mirroring mpi4py's uppercase, buffer-based API);
+  numpy-buffer semantics (mirroring mpi4py's uppercase, buffer-based API),
+  including MPI-style caller-provided receive buffers (``out=``) backed by
+  the reusable :class:`~repro.comm.workspace.CollectiveWorkspace`;
 * :mod:`~repro.comm.collectives` re-implements the textbook point-to-point
   algorithms for these collectives (ring all-gather, recursive halving
-  reduce-scatter, recursive doubling all-reduce) whose costs are exactly the
+  reduce-scatter, recursive doubling all-reduce; arbitrary communicator
+  sizes via MPICH's fold/unfold scheme) whose costs are exactly the
   alpha-beta-gamma expressions quoted in §2.3 of the paper;
 * :mod:`~repro.comm.cost` implements that alpha-beta-gamma model and a
   per-rank ledger of words/messages/flops;
@@ -22,20 +28,35 @@ substrate in pure Python:
   categories of §6.3 (MM, NLS, Gram, All-Gather, Reduce-Scatter, All-Reduce).
 """
 
-from repro.comm.backend import ThreadBackend, run_spmd
+from repro.comm.backends import (
+    Backend,
+    LockstepBackend,
+    ThreadBackend,
+    available_backends,
+    make_backend,
+    register_backend,
+    run_spmd,
+)
 from repro.comm.communicator import Comm, ReduceOp
 from repro.comm.cost import AlphaBetaGamma, CostLedger, CollectiveCost, EDISON
 from repro.comm.grid import ProcessGrid, choose_grid
 from repro.comm.profiler import TaskCategory, Profiler, TimeBreakdown
+from repro.comm.workspace import CollectiveWorkspace
 
 __all__ = [
+    "Backend",
+    "LockstepBackend",
     "ThreadBackend",
+    "available_backends",
+    "make_backend",
+    "register_backend",
     "run_spmd",
     "Comm",
     "ReduceOp",
     "AlphaBetaGamma",
     "CostLedger",
     "CollectiveCost",
+    "CollectiveWorkspace",
     "EDISON",
     "ProcessGrid",
     "choose_grid",

@@ -1,154 +1,34 @@
-"""SPMD execution backend.
+"""Backwards-compatible alias for :mod:`repro.comm.backends`.
 
-The paper's algorithms are SPMD programs: every MPI rank runs the same code
-on its own block of the data.  :class:`ThreadBackend` reproduces that model in
-a single Python process by running one thread per rank.  Ranks exchange numpy
-buffers through shared memory slots guarded by reusable barriers, and
-point-to-point messages flow through per-(source, destination) queues.
+The execution substrate grew from a single hard-coded thread backend into the
+pluggable :mod:`repro.comm.backends` package (``"thread"``, ``"lockstep"``,
+and a registry for future multiprocessing/MPI backends).  This module keeps
+the original import path working::
 
-Threads are an adequate stand-in for MPI processes here because
+    from repro.comm.backend import ThreadBackend, run_spmd
 
-* the heavy numerical kernels (BLAS matmuls, Cholesky factorizations inside
-  BPP) release the GIL, so ranks genuinely overlap where it matters, and
-* the purpose of the substrate is to execute the *communication structure* of
-  Algorithms 2 and 3 faithfully — who owns what, what is sent where — which
-  is independent of whether ranks are threads or processes.
-
-Use :func:`run_spmd` for the common case::
-
-    def program(comm, payload):
-        ...
-        return local_result
-
-    results = run_spmd(n_ranks, program, payload)   # list, one per rank
+New code should import from :mod:`repro.comm.backends` (or
+:mod:`repro.comm`) directly.
 """
 
-from __future__ import annotations
+from repro.comm.backends import (
+    Backend,
+    LockstepBackend,
+    SharedGroupState,
+    ThreadBackend,
+    available_backends,
+    make_backend,
+    register_backend,
+    run_spmd,
+)
 
-import queue
-import threading
-from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
-
-from repro.util.errors import CommunicatorError
-
-
-@dataclass
-class _RankFailure:
-    """Marker carrying an exception raised inside one rank's program."""
-
-    rank: int
-    exception: BaseException
-
-
-class SharedGroupState:
-    """Shared-memory state for one communicator group.
-
-    One instance is shared by all ranks of a communicator.  It provides
-
-    * ``slots`` — a list with one deposit slot per rank, used by the
-      native collectives (deposit, barrier, read, barrier);
-    * ``barrier`` — a reusable :class:`threading.Barrier` sized to the group;
-    * ``mailboxes`` — per (src, dst) FIFO queues for point-to-point messages;
-    * ``registry`` + ``lock`` — a scratch dict used to create sub-group state
-      exactly once during ``split``.
-    """
-
-    def __init__(self, size: int):
-        if size < 1:
-            raise CommunicatorError(f"communicator size must be >= 1, got {size}")
-        self.size = size
-        self.slots: List[Any] = [None] * size
-        self.barrier = threading.Barrier(size)
-        self.lock = threading.Lock()
-        self.registry: Dict[Any, Any] = {}
-        self._mailboxes: Dict[Tuple[int, int], "queue.SimpleQueue"] = {}
-        self._mailbox_lock = threading.Lock()
-
-    def mailbox(self, src: int, dst: int) -> "queue.SimpleQueue":
-        key = (src, dst)
-        with self._mailbox_lock:
-            box = self._mailboxes.get(key)
-            if box is None:
-                box = queue.SimpleQueue()
-                self._mailboxes[key] = box
-            return box
-
-    def wait(self) -> None:
-        """Block until every rank of the group reaches this point."""
-        try:
-            self.barrier.wait()
-        except threading.BrokenBarrierError as exc:  # pragma: no cover - only on rank crash
-            raise CommunicatorError("a peer rank failed; barrier broken") from exc
-
-    def abort(self) -> None:
-        """Break the barrier so peer ranks do not hang after a failure."""
-        self.barrier.abort()
-
-
-class ThreadBackend:
-    """Launches an SPMD program on ``n_ranks`` threads and collects results.
-
-    Parameters
-    ----------
-    n_ranks:
-        Number of SPMD ranks (threads) to run.
-    name:
-        Optional label used in thread names, helpful when debugging.
-    """
-
-    def __init__(self, n_ranks: int, name: str = "spmd"):
-        if n_ranks < 1:
-            raise CommunicatorError(f"n_ranks must be >= 1, got {n_ranks}")
-        self.n_ranks = n_ranks
-        self.name = name
-
-    def run(self, program: Callable[..., Any], *args: Any, **kwargs: Any) -> List[Any]:
-        """Run ``program(comm, *args, **kwargs)`` on every rank.
-
-        Returns the per-rank return values in rank order.  If any rank raises,
-        the first exception (by rank) is re-raised in the caller after all
-        threads have stopped.
-        """
-        # Imported here to avoid a circular import at module load time.
-        from repro.comm.communicator import Comm
-
-        state = SharedGroupState(self.n_ranks)
-        results: List[Any] = [None] * self.n_ranks
-
-        def worker(rank: int) -> None:
-            comm = Comm(state=state, rank=rank, group_ranks=tuple(range(self.n_ranks)))
-            try:
-                results[rank] = program(comm, *args, **kwargs)
-            except BaseException as exc:  # noqa: BLE001 - must not hang peers
-                results[rank] = _RankFailure(rank, exc)
-                state.abort()
-
-        if self.n_ranks == 1:
-            worker(0)
-        else:
-            threads = [
-                threading.Thread(target=worker, args=(rank,), name=f"{self.name}-rank{rank}")
-                for rank in range(self.n_ranks)
-            ]
-            for t in threads:
-                t.start()
-            for t in threads:
-                t.join()
-
-        failures = [r for r in results if isinstance(r, _RankFailure)]
-        if failures:
-            first = min(failures, key=lambda f: f.rank)
-            raise first.exception
-        return results
-
-
-def run_spmd(
-    n_ranks: int,
-    program: Callable[..., Any],
-    *args: Any,
-    name: str = "spmd",
-    **kwargs: Any,
-) -> List[Any]:
-    """Convenience wrapper: run ``program(comm, *args, **kwargs)`` on ``n_ranks`` ranks."""
-    return ThreadBackend(n_ranks, name=name).run(program, *args, **kwargs)
+__all__ = [
+    "Backend",
+    "LockstepBackend",
+    "SharedGroupState",
+    "ThreadBackend",
+    "available_backends",
+    "make_backend",
+    "register_backend",
+    "run_spmd",
+]

@@ -1,0 +1,44 @@
+"""Pluggable SPMD execution backends.
+
+The parallel algorithms are written against
+:class:`~repro.comm.communicator.Comm` only; this package supplies the
+substrate that actually runs the per-rank programs:
+
+* :mod:`~repro.comm.backends.base` — the :class:`Backend` interface, the
+  name → class registry and the :func:`run_spmd` entry point;
+* :mod:`~repro.comm.backends.thread` — ``"thread"``: one Python thread per
+  rank, real overlap wherever BLAS releases the GIL (the measured-benchmark
+  substrate);
+* :mod:`~repro.comm.backends.lockstep` — ``"lockstep"``: cooperative
+  rank-ordered scheduling with at most one rank running at any instant —
+  deterministic, deadlock-diagnosing, and able to simulate hundreds of ranks.
+
+Select a backend by name anywhere downstream: ``NMFConfig(backend=...)``,
+``parallel_nmf(..., backend=...)``, or the CLI's ``--backend`` flag.
+"""
+
+from repro.comm.backends.base import (
+    Backend,
+    PeerAbortError,
+    SharedGroupState,
+    available_backends,
+    get_backend_class,
+    make_backend,
+    register_backend,
+    run_spmd,
+)
+from repro.comm.backends.lockstep import LockstepBackend
+from repro.comm.backends.thread import ThreadBackend
+
+__all__ = [
+    "Backend",
+    "LockstepBackend",
+    "PeerAbortError",
+    "SharedGroupState",
+    "ThreadBackend",
+    "available_backends",
+    "get_backend_class",
+    "make_backend",
+    "register_backend",
+    "run_spmd",
+]

@@ -29,8 +29,53 @@ from repro.comm.communicator import Comm, ReduceOp
 from repro.util.errors import CommunicatorError
 
 
-def _is_power_of_two(x: int) -> bool:
-    return x > 0 and (x & (x - 1)) == 0
+def _largest_power_of_two_below(p: int) -> int:
+    """Largest power of two <= p."""
+    return 1 << (p.bit_length() - 1)
+
+
+#: Tags for the fold/unfold phases that adapt the power-of-two algorithms to
+#: arbitrary communicator sizes (MPICH's scheme); distinct from the per-round
+#: tags 0..log2(p)-1 of the main phases.
+_FOLD_TAG = 1001
+_UNFOLD_TAG = 1002
+
+
+def _fold_into_pairs(comm: Comm, work: np.ndarray, op: ReduceOp):
+    """MPICH pre-phase adapting a reduction to a non-power-of-two size.
+
+    The first ``2·(p - p2)`` ranks pair up (``p2`` the largest power of two
+    ≤ ``p``): each odd rank sends its whole vector to its even partner, which
+    reduces it in and represents both ranks through the power-of-two main
+    phase.  Returns ``(work, vrank, to_real)`` where
+
+    * ``work is None`` marks a folded (odd) rank that must now wait for the
+      ``_UNFOLD_TAG`` message carrying its share of the result,
+    * ``vrank`` is the rank within the ``p2``-sized virtual group, and
+    * ``to_real`` maps virtual ranks back to communicator ranks.
+
+    For participants the returned ``work`` is a private buffer safe to
+    mutate in place; the input itself is never copied on folded ranks
+    (``send`` buffers internally) nor on pair carriers (``op.combine``
+    allocates the merged result).
+    """
+    p, r = comm.size, comm.rank
+    n_folded = p - _largest_power_of_two_below(p)
+    if r < 2 * n_folded and r % 2 == 1:
+        comm.send(work, dest=r - 1, tag=_FOLD_TAG)
+        work, vrank = None, None
+    elif r < 2 * n_folded:
+        incoming = np.asarray(comm.recv(source=r + 1, tag=_FOLD_TAG))
+        work = op.combine([work, incoming])
+        vrank = r // 2
+    else:
+        work = work.copy()
+        vrank = r - n_folded
+
+    def to_real(v: int) -> int:
+        return 2 * v if v < n_folded else v + n_folded
+
+    return work, vrank, to_real
 
 
 def ring_allgather(comm: Comm, array: np.ndarray) -> List[np.ndarray]:
@@ -65,20 +110,36 @@ def ring_allgather(comm: Comm, array: np.ndarray) -> List[np.ndarray]:
 
 
 def recursive_doubling_allgather(comm: Comm, array: np.ndarray) -> List[np.ndarray]:
-    """All-gather via recursive doubling (``log2 p`` rounds, power-of-two ranks).
+    """All-gather via recursive doubling (``log2 p`` rounds of pairwise exchange).
 
     In round ``t`` each rank exchanges its current collection with the partner
     at distance ``2^t``; after ``log2 p`` rounds everyone has every block.
+
+    Non-power-of-two sizes use MPICH's fold/unfold adaptation: the trailing
+    ``p - p2`` ranks (``p2`` the largest power of two ≤ ``p``) first fold
+    their block into a partner in the leading ``p2``-rank group, the group
+    runs the power-of-two exchange, and the folded ranks receive the finished
+    result in a final unfold round — ``log2 p2 + 2`` rounds in total.
     """
     p, r = comm.size, comm.rank
     if p == 1:
         return [np.asarray(array)]
-    if not _is_power_of_two(p):
-        raise CommunicatorError("recursive doubling all-gather requires a power-of-two size")
+    p2 = _largest_power_of_two_below(p)
+
+    if r >= p2:
+        # Folded rank: contribute through the partner, then wait for the result.
+        comm.send([(r, np.asarray(array))], dest=r - p2, tag=_FOLD_TAG)
+        blocks = comm.recv(source=r - p2, tag=_UNFOLD_TAG)
+        return [np.asarray(b) for _, b in sorted(blocks)]
+
     owned = {r: np.asarray(array)}
+    if r + p2 < p:
+        incoming = comm.recv(source=r + p2, tag=_FOLD_TAG)
+        for idx, block in incoming:
+            owned[idx] = np.asarray(block)
     distance = 1
     round_idx = 0
-    while distance < p:
+    while distance < p2:
         partner = r ^ distance
         payload = sorted(owned.items())
         comm.send(payload, dest=partner, tag=round_idx)
@@ -87,6 +148,8 @@ def recursive_doubling_allgather(comm: Comm, array: np.ndarray) -> List[np.ndarr
             owned[idx] = np.asarray(block)
         distance <<= 1
         round_idx += 1
+    if r + p2 < p:
+        comm.send(sorted(owned.items()), dest=r + p2, tag=_UNFOLD_TAG)
     return [owned[i] for i in range(p)]
 
 
@@ -96,12 +159,18 @@ def recursive_halving_reduce_scatter(
     counts: Optional[Sequence[int]] = None,
     op: ReduceOp = ReduceOp.SUM,
 ) -> np.ndarray:
-    """Reduce-scatter via recursive halving (``log2 p`` rounds, power-of-two ranks).
+    """Reduce-scatter via recursive halving (``log2 p`` rounds of half-exchange).
 
     In round ``t`` each rank exchanges half of its active range with the
     partner at distance ``p / 2^(t+1)`` and reduces the received half into its
     own; after ``log2 p`` rounds each rank holds the fully reduced block it is
     responsible for.  The volume per rank is ``(p-1)/p * n`` words.
+
+    Non-power-of-two sizes use MPICH's fold/unfold adaptation: the first
+    ``2·(p - p2)`` ranks pair up (``p2`` the largest power of two ≤ ``p``);
+    each odd rank folds its whole vector into its even partner, which then
+    represents the merged block of both ranks through the power-of-two main
+    phase and finally unfolds the odd partner's block back to it.
     """
     array = np.asarray(array, dtype=np.float64)
     p, r = comm.size, comm.rank
@@ -114,20 +183,29 @@ def recursive_halving_reduce_scatter(
         raise CommunicatorError("counts must have one entry per rank and sum to the axis length")
     if p == 1:
         return array.copy()
-    if not _is_power_of_two(p):
-        raise CommunicatorError("recursive halving reduce-scatter requires a power-of-two size")
 
-    offsets = np.concatenate(([0], np.cumsum(counts))).astype(int)
-    work = array.copy()
-    # Active range of *block indices* this rank is still responsible for.
-    lo_blk, hi_blk = 0, p
-    distance = p // 2
+    p2 = _largest_power_of_two_below(p)
+    n_folded = p - p2  # number of (even, odd) pairs in the fold phase
+
+    work, vrank, to_real = _fold_into_pairs(comm, array, op)
+    if work is None:
+        # Folded rank: the even partner carries the contribution and sends
+        # the finished block back.
+        return np.asarray(comm.recv(source=r - 1, tag=_UNFOLD_TAG)).copy()
+
+    # Virtual block layout: pair blocks are merged, tail blocks unchanged.
+    vcounts = [counts[2 * i] + counts[2 * i + 1] for i in range(n_folded)]
+    vcounts += counts[2 * n_folded:]
+    offsets = np.concatenate(([0], np.cumsum(vcounts))).astype(int)
+
+    # Active range of *virtual block indices* this rank is still responsible for.
+    lo_blk, hi_blk = 0, p2
+    distance = p2 // 2
     round_idx = 0
     while distance >= 1:
         mid_blk = lo_blk + (hi_blk - lo_blk) // 2
-        partner = r ^ distance
-        mine_is_low = r < partner
-        if mine_is_low:
+        vpartner = vrank ^ distance
+        if vrank < vpartner:
             keep_lo, keep_hi = lo_blk, mid_blk
             send_lo, send_hi = mid_blk, hi_blk
         else:
@@ -135,41 +213,61 @@ def recursive_halving_reduce_scatter(
             send_lo, send_hi = lo_blk, mid_blk
         send_slice = slice(offsets[send_lo], offsets[send_hi])
         keep_slice = slice(offsets[keep_lo], offsets[keep_hi])
-        comm.send(work[send_slice], dest=partner, tag=round_idx)
-        incoming = np.asarray(comm.recv(source=partner, tag=round_idx))
+        comm.send(work[send_slice], dest=to_real(vpartner), tag=round_idx)
+        incoming = np.asarray(comm.recv(source=to_real(vpartner), tag=round_idx))
         work[keep_slice] = op.combine([work[keep_slice], incoming])
         lo_blk, hi_blk = keep_lo, keep_hi
         distance //= 2
         round_idx += 1
-    assert hi_blk - lo_blk == 1 and lo_blk == r
-    return work[offsets[r]: offsets[r + 1]].copy()
+    assert hi_blk - lo_blk == 1 and lo_blk == vrank
+    block = work[offsets[vrank]: offsets[vrank + 1]]
+    if vrank < n_folded:
+        # The merged block covers real ranks 2·vrank (this rank) and
+        # 2·vrank + 1 (the folded partner); unfold the partner's share.
+        comm.send(block[counts[r]:], dest=r + 1, tag=_UNFOLD_TAG)
+        return block[: counts[r]].copy()
+    return block.copy()
 
 
 def recursive_doubling_allreduce(
     comm: Comm, array: np.ndarray, op: ReduceOp = ReduceOp.SUM
 ) -> np.ndarray:
-    """All-reduce via recursive doubling (``log2 p`` rounds, power-of-two ranks)."""
+    """All-reduce via recursive doubling (``log2 p`` rounds of pairwise exchange).
+
+    Non-power-of-two sizes use the same fold/unfold adaptation as
+    :func:`recursive_halving_reduce_scatter`: odd members of the first
+    ``2·(p - p2)`` ranks fold into their even partner, the ``p2``-rank group
+    runs the power-of-two exchange, and the folded ranks receive the finished
+    result back.
+    """
     array = np.asarray(array, dtype=np.float64)
     p, r = comm.size, comm.rank
     if p == 1:
         return array.copy()
-    if not _is_power_of_two(p):
-        raise CommunicatorError("recursive doubling all-reduce requires a power-of-two size")
-    work = array.copy()
+
+    p2 = _largest_power_of_two_below(p)
+    n_folded = p - p2
+
+    work, vrank, to_real = _fold_into_pairs(comm, array, op)
+    if work is None:
+        return np.asarray(comm.recv(source=r - 1, tag=_UNFOLD_TAG)).copy()
+
     distance = 1
     round_idx = 0
-    while distance < p:
-        partner = r ^ distance
-        comm.send(work, dest=partner, tag=round_idx)
-        incoming = np.asarray(comm.recv(source=partner, tag=round_idx))
+    while distance < p2:
+        vpartner = vrank ^ distance
+        comm.send(work, dest=to_real(vpartner), tag=round_idx)
+        incoming = np.asarray(comm.recv(source=to_real(vpartner), tag=round_idx))
         # Reduce in a canonical (lower-rank-first) order so every rank computes
         # bitwise-identical results regardless of its position.
-        if r < partner:
+        if vrank < vpartner:
             work = op.combine([work, incoming])
         else:
             work = op.combine([incoming, work])
         distance <<= 1
         round_idx += 1
+    if vrank < n_folded:
+        comm.send(work, dest=r + 1, tag=_UNFOLD_TAG)
     return work
 
 
@@ -180,7 +278,9 @@ def reduce_scatter_allgather_allreduce(
 
     This is the large-message algorithm whose cost,
     ``2 alpha log p + (2 beta + gamma)(p-1)/p n``, is exactly the all-reduce
-    expression quoted in §2.3 of the paper.
+    expression quoted in §2.3 of the paper.  Works for any communicator size:
+    the reduce-scatter stage handles non-powers-of-two via fold/unfold and
+    the all-gather stage is a ring.
     """
     array = np.asarray(array, dtype=np.float64)
     p = comm.size

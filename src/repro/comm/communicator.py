@@ -23,14 +23,26 @@ quantity the paper's analysis — and our tests — reason about.
 
 from __future__ import annotations
 
+import contextlib
 import enum
+import queue
 from typing import Any, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.comm.backend import SharedGroupState
+from repro.comm.backends.base import SharedGroupState
 from repro.comm.cost import CostLedger
+from repro.comm.workspace import CollectiveWorkspace
 from repro.util.errors import CommunicatorError
+
+
+def _require_safe_cast(src_dtype, out: np.ndarray, what: str) -> None:
+    """Reject an ``out`` buffer whose dtype cannot hold ``src_dtype`` losslessly."""
+    if not np.can_cast(src_dtype, out.dtype, casting="safe"):
+        raise CommunicatorError(
+            f"out buffer dtype {out.dtype} cannot hold the {what} "
+            f"dtype {src_dtype} without loss"
+        )
 
 
 class ReduceOp(str, enum.Enum):
@@ -41,12 +53,27 @@ class ReduceOp(str, enum.Enum):
     MIN = "min"
     PROD = "prod"
 
-    def combine(self, arrays: Sequence[np.ndarray]) -> np.ndarray:
-        """Reduce ``arrays`` elementwise in rank order (deterministic)."""
+    def combine(
+        self, arrays: Sequence[np.ndarray], out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Reduce ``arrays`` elementwise in rank order (deterministic).
+
+        With ``out`` the reduction is written into the provided buffer (which
+        is also returned) instead of a freshly allocated array; ``out`` must
+        match the element shape and must not alias any input.
+        """
         if not arrays:
             raise CommunicatorError("cannot reduce an empty sequence")
         stack = [np.asarray(a) for a in arrays]
-        out = stack[0].astype(np.result_type(*stack), copy=True)
+        if out is None:
+            out = stack[0].astype(np.result_type(*stack), copy=True)
+        else:
+            if out.shape != stack[0].shape:
+                raise CommunicatorError(
+                    f"out buffer has shape {out.shape}, expected {stack[0].shape}"
+                )
+            _require_safe_cast(np.result_type(*stack), out, "reduction")
+            np.copyto(out, stack[0])
         for a in stack[1:]:
             if self is ReduceOp.SUM:
                 out += a
@@ -73,9 +100,11 @@ def _nwords(obj: Any) -> float:
 class Comm:
     """A communicator over a fixed group of SPMD ranks.
 
-    Instances are created by :class:`~repro.comm.backend.ThreadBackend` (the
-    world communicator handed to the SPMD program) and by :meth:`split`
-    (row/column communicators of the processor grid).
+    Instances are created by the execution backends of
+    :mod:`repro.comm.backends` (the world communicator handed to the SPMD
+    program) and by :meth:`split` (row/column communicators of the processor
+    grid).  The communicator is backend-agnostic: the group state it was
+    constructed with supplies the synchronization mechanism.
     """
 
     def __init__(
@@ -94,6 +123,7 @@ class Comm:
         self._parent = parent
         self._split_count = 0
         self._ledger = ledger
+        self._workspace: Optional[CollectiveWorkspace] = None
 
     # -- identity ----------------------------------------------------------
     @property
@@ -134,6 +164,84 @@ class Comm:
         """Attach (or detach, with None) a cost ledger recording collective volume."""
         self._ledger = ledger
 
+    @property
+    def workspace(self) -> CollectiveWorkspace:
+        """This rank's reusable collective output buffers (lazily created).
+
+        Pass ``workspace.get(name, shape)`` as the ``out=`` argument of
+        :meth:`allreduce`, :meth:`reduce_scatter` or :meth:`allgatherv` to
+        make the per-iteration collectives allocation-free.
+        """
+        if self._workspace is None:
+            self._workspace = CollectiveWorkspace()
+        return self._workspace
+
+    @staticmethod
+    def _validate_out(
+        out: Optional[np.ndarray],
+        array: np.ndarray,
+        expected_shape: Optional[Tuple[int, ...]] = None,
+    ) -> None:
+        """Validate a caller-provided ``out`` buffer *before* any deposit.
+
+        Raising before the first barrier keeps the failure symmetric across
+        ranks (every rank rejects its own bad buffer) and the communicator
+        usable afterwards; an exception between the two barriers of a
+        collective would leave the deposit slots in an undefined state.
+
+        Checks: ``out`` must not alias the input (peers read the deposited
+        input while the result is written), must match ``expected_shape``
+        when the result shape is known up front, and must be able to hold
+        the contribution's dtype without loss.
+        """
+        if out is None:
+            return
+        if np.shares_memory(out, array):
+            raise CommunicatorError(
+                "out buffer must not share memory with the input array: peers "
+                "read the input while the result is being written"
+            )
+        if expected_shape is not None and out.shape != tuple(expected_shape):
+            raise CommunicatorError(
+                f"out buffer has shape {out.shape}, expected {tuple(expected_shape)}"
+            )
+        _require_safe_cast(array.dtype, out, "contribution")
+
+    @staticmethod
+    def _copy_result(out: np.ndarray, array: np.ndarray) -> np.ndarray:
+        """Copy ``array`` into ``out`` with the same safe-cast rule as combine.
+
+        Used by the size-1 fast paths so a lossy ``out`` dtype is rejected
+        identically regardless of communicator size.
+        """
+        array = np.asarray(array)
+        _require_safe_cast(array.dtype, out, "result")
+        np.copyto(out, array)
+        return out
+
+    @contextlib.contextmanager
+    def _compute_phase(self):
+        """The read/compute window between a collective's two barriers.
+
+        Opens with the post-deposit barrier and guarantees the closing
+        barrier runs even if the compute raises — otherwise peers blocked in
+        the closing ``wait()`` would hang forever (the thread backend's
+        barriers have no timeout, and a worker failure only aborts the world
+        state, not sub-communicator states).  If the closing barrier itself
+        fails during unwinding (e.g. a peer aborted concurrently), the
+        original exception is the one that propagates.
+        """
+        self._state.wait()
+        try:
+            yield
+        except BaseException:
+            try:
+                self._state.wait()
+            except Exception:
+                pass
+            raise
+        self._state.wait()
+
     def _record(self, operation: str, n_words: float) -> None:
         ledger = self.ledger
         if ledger is not None:
@@ -163,9 +271,12 @@ class Comm:
         box = self._state.mailbox(source, self.rank)
         try:
             got_tag, payload = box.get(timeout=timeout)
-        except Exception as exc:  # queue.Empty
+        except queue.Empty as exc:
             raise CommunicatorError(
-                f"rank {self.rank}: timed out waiting for message from {source} (tag {tag})"
+                f"recv timed out after {timeout:g}s: destination rank {self.rank} "
+                f"waiting for a message from source rank {source} with tag {tag} "
+                f"(communicator size {self.size}); the sender likely crashed, "
+                "deadlocked, or never reached the matching send"
             ) from exc
         if got_tag != tag:
             raise CommunicatorError(
@@ -184,9 +295,8 @@ class Comm:
         if self.size == 1:
             return [obj]
         self._state.slots[self.rank] = obj
-        self._state.wait()
-        out = list(self._state.slots)
-        self._state.wait()
+        with self._compute_phase():
+            out = list(self._state.slots)
         self._record("all_gather", _nwords(obj) * self.size)
         return out
 
@@ -196,11 +306,10 @@ class Comm:
             return obj
         if self.rank == root:
             self._state.slots[root] = obj
-        self._state.wait()
-        value = self._state.slots[root]
-        if isinstance(value, np.ndarray) and self.rank != root:
-            value = value.copy()
-        self._state.wait()
+        with self._compute_phase():
+            value = self._state.slots[root]
+            if isinstance(value, np.ndarray) and self.rank != root:
+                value = value.copy()
         self._record("broadcast", _nwords(value))
         return value
 
@@ -211,20 +320,66 @@ class Comm:
         if self.size == 1:
             return [array]
         self._state.slots[self.rank] = array
-        self._state.wait()
-        gathered = [np.asarray(self._state.slots[r]).copy() if r != self.rank else array
-                    for r in range(self.size)]
-        self._state.wait()
+        with self._compute_phase():
+            gathered = [np.asarray(self._state.slots[r]).copy() if r != self.rank else array
+                        for r in range(self.size)]
         total_words = sum(_nwords(g) for g in gathered)
         self._record("all_gather", total_words)
         return gathered
 
-    def allgatherv(self, array: np.ndarray, axis: int = 0) -> np.ndarray:
-        """All-gather and concatenate along ``axis`` (blocks may differ in size)."""
-        parts = self.allgather(np.asarray(array))
+    def allgatherv(
+        self, array: np.ndarray, axis: int = 0, out: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """All-gather and concatenate along ``axis`` (blocks may differ in size).
+
+        With ``out`` the concatenated result is written into the provided
+        buffer (avoiding both the per-block copies and the concatenation
+        allocation) and ``out`` is returned; its shape must equal the
+        concatenated shape.
+        """
+        array = np.asarray(array)
+        self._validate_out(out, array)
+        if out is not None:
+            # The axis length of the result depends on every rank's block and
+            # is only checkable after the gather, but the rank and the other
+            # dimensions are known now — reject bad buffers before any
+            # deposit so the failure is symmetric across ranks.
+            norm_axis = axis % array.ndim if array.ndim else 0
+            if out.ndim != array.ndim or any(
+                out.shape[d] != array.shape[d]
+                for d in range(array.ndim)
+                if d != norm_axis
+            ):
+                raise CommunicatorError(
+                    f"out buffer shape {out.shape} is incompatible with "
+                    f"gathered blocks of shape {array.shape} along axis {axis}"
+                )
         if self.size == 1:
-            return parts[0]
-        return np.concatenate(parts, axis=axis)
+            if out is None:
+                return array
+            if out.shape != array.shape:
+                raise CommunicatorError(
+                    f"out buffer has shape {out.shape}, expected {array.shape}"
+                )
+            return self._copy_result(out, array)
+        if out is None:
+            return np.concatenate(self.allgather(array), axis=axis)
+        # Concatenate straight from the deposit slots into the caller's
+        # buffer: between the two barriers peers cannot mutate their deposits,
+        # so the intermediate per-block copies of allgather() are unnecessary.
+        self._state.slots[self.rank] = array
+        with self._compute_phase():
+            parts = [np.asarray(self._state.slots[r]) for r in range(self.size)]
+            _require_safe_cast(np.result_type(*parts), out, "gathered")
+            try:
+                np.concatenate(parts, axis=axis, out=out)
+            except ValueError as exc:
+                raise CommunicatorError(
+                    f"out buffer shape {out.shape} does not match the "
+                    f"gathered result: {exc}"
+                ) from exc
+        self._record("all_gather", sum(_nwords(p) for p in parts))
+        return out
 
     def gather(self, array: np.ndarray, root: int = 0) -> Optional[List[np.ndarray]]:
         """Gather arrays on ``root``; other ranks receive ``None``."""
@@ -232,11 +387,10 @@ class Comm:
         if self.size == 1:
             return [array]
         self._state.slots[self.rank] = array
-        self._state.wait()
-        result = None
-        if self.rank == root:
-            result = [np.asarray(self._state.slots[r]).copy() for r in range(self.size)]
-        self._state.wait()
+        with self._compute_phase():
+            result = None
+            if self.rank == root:
+                result = [np.asarray(self._state.slots[r]).copy() for r in range(self.size)]
         self._record("gather", _nwords(array) * self.size)
         return result
 
@@ -251,9 +405,8 @@ class Comm:
                     f"root must provide exactly {self.size} arrays to scatter"
                 )
             self._state.slots[root] = [np.asarray(a) for a in arrays]
-        self._state.wait()
-        mine = np.asarray(self._state.slots[root][self.rank]).copy()
-        self._state.wait()
+        with self._compute_phase():
+            mine = np.asarray(self._state.slots[root][self.rank]).copy()
         self._record("scatter", _nwords(mine) * self.size)
         return mine
 
@@ -264,23 +417,38 @@ class Comm:
         if self.size == 1:
             return array.copy()
         self._state.slots[self.rank] = array
-        self._state.wait()
-        result = None
-        if self.rank == root:
-            result = op.combine([np.asarray(self._state.slots[r]) for r in range(self.size)])
-        self._state.wait()
+        with self._compute_phase():
+            result = None
+            if self.rank == root:
+                result = op.combine(
+                    [np.asarray(self._state.slots[r]) for r in range(self.size)]
+                )
         self._record("reduce", _nwords(array))
         return result
 
-    def allreduce(self, array: np.ndarray, op: ReduceOp = ReduceOp.SUM) -> np.ndarray:
-        """All-reduce: every rank receives the elementwise reduction over ranks."""
+    def allreduce(
+        self,
+        array: np.ndarray,
+        op: ReduceOp = ReduceOp.SUM,
+        out: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """All-reduce: every rank receives the elementwise reduction over ranks.
+
+        With ``out`` the reduction is computed into the provided buffer
+        (which is returned) instead of a fresh allocation; ``out`` must not
+        alias ``array``.
+        """
         array = np.asarray(array)
+        self._validate_out(out, array, expected_shape=array.shape)
         if self.size == 1:
-            return array.copy()
+            if out is None:
+                return array.copy()
+            return self._copy_result(out, array)
         self._state.slots[self.rank] = array
-        self._state.wait()
-        result = op.combine([np.asarray(self._state.slots[r]) for r in range(self.size)])
-        self._state.wait()
+        with self._compute_phase():
+            result = op.combine(
+                [np.asarray(self._state.slots[r]) for r in range(self.size)], out=out
+            )
         self._record("all_reduce", _nwords(array))
         return result
 
@@ -294,6 +462,7 @@ class Comm:
         counts: Optional[Sequence[int]] = None,
         axis: int = 0,
         op: ReduceOp = ReduceOp.SUM,
+        out: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         """Reduce-scatter: sum arrays over ranks, split the sum along ``axis``.
 
@@ -305,6 +474,9 @@ class Comm:
         :func:`repro.dist.partition.block_counts` — so a count-less
         reduce-scatter lands each rank exactly on the block that
         :mod:`repro.dist` assigns it.
+
+        With ``out`` the reduced block is computed into the provided buffer
+        (which is returned); ``out`` must not alias ``array``.
         """
         array = np.asarray(array)
         length = array.shape[axis]
@@ -321,17 +493,21 @@ class Comm:
                 f"counts sum to {sum(counts)} but axis {axis} has length {length}"
             )
         offsets = np.concatenate(([0], np.cumsum(counts)))
+        expected_shape = list(array.shape)
+        expected_shape[axis] = counts[self.rank]
+        self._validate_out(out, array, expected_shape=tuple(expected_shape))
         if self.size == 1:
-            return array.copy()
+            if out is None:
+                return array.copy()
+            return self._copy_result(out, array)
         self._state.slots[self.rank] = array
-        self._state.wait()
-        lo, hi = offsets[self.rank], offsets[self.rank + 1]
-        index: List[Any] = [slice(None)] * array.ndim
-        index[axis] = slice(lo, hi)
-        index = tuple(index)
-        pieces = [np.asarray(self._state.slots[r])[index] for r in range(self.size)]
-        result = op.combine(pieces)
-        self._state.wait()
+        with self._compute_phase():
+            lo, hi = offsets[self.rank], offsets[self.rank + 1]
+            index: List[Any] = [slice(None)] * array.ndim
+            index[axis] = slice(lo, hi)
+            index = tuple(index)
+            pieces = [np.asarray(self._state.slots[r])[index] for r in range(self.size)]
+            result = op.combine(pieces, out=out)
         self._record("reduce_scatter", _nwords(array))
         return result
 
@@ -360,7 +536,10 @@ class Comm:
             reg_key = ("split", split_id, int(color))
             sub_state = self._state.registry.get(reg_key)
             if sub_state is None:
-                sub_state = SharedGroupState(len(group_local_ranks))
+                # The state decides its own subgroup type, so sub-communicators
+                # stay on the same backend (thread, lockstep, ...) as their
+                # parent.
+                sub_state = self._state.make_subgroup(len(group_local_ranks))
                 self._state.registry[reg_key] = sub_state
         # Make sure every rank observed its sub-state before anyone proceeds.
         self.barrier()

@@ -1,9 +1,11 @@
 """User-facing entry points.
 
 :func:`nmf` runs the sequential reference (Algorithm 1); :func:`parallel_nmf`
-runs Algorithm 2 or Algorithm 3 on an SPMD thread backend and assembles the
-global factors.  Both accept dense ndarrays or scipy sparse matrices and
-return an :class:`~repro.core.result.NMFResult`.
+runs Algorithm 2 or Algorithm 3 on an SPMD execution backend (``"thread"`` by
+default, ``"lockstep"`` for deterministic runs and large simulated grids —
+see :mod:`repro.comm.backends`) and assembles the global factors.  Both
+accept dense ndarrays or scipy sparse matrices and return an
+:class:`~repro.core.result.NMFResult`.
 """
 
 from __future__ import annotations
@@ -12,7 +14,7 @@ from typing import Optional, Tuple, Union
 
 import numpy as np
 
-from repro.comm.backend import run_spmd
+from repro.comm.backends import run_spmd
 from repro.core.anls import anls_nmf
 from repro.core.config import Algorithm, NMFConfig
 from repro.core.hpc_nmf import assemble_hpc_result, hpc_nmf
@@ -73,14 +75,16 @@ def parallel_nmf(
     *,
     algorithm: Union[str, Algorithm] = Algorithm.HPC_2D,
     grid: Optional[Tuple[int, int]] = None,
+    backend: Optional[str] = None,
     config: Optional[NMFConfig] = None,
     **options,
 ) -> NMFResult:
     """Compute a rank-``k`` NMF with one of the parallel algorithms.
 
-    Runs ``n_ranks`` SPMD ranks on the thread backend, each owning only its
-    block of ``A`` and of the factors, exactly as the MPI implementation in
-    the paper would, then assembles and returns the global factors.
+    Runs ``n_ranks`` SPMD ranks on the selected execution backend, each
+    owning only its block of ``A`` and of the factors, exactly as the MPI
+    implementation in the paper would, then assembles and returns the global
+    factors.
 
     Parameters
     ----------
@@ -97,6 +101,12 @@ def parallel_nmf(
     grid:
         Explicit ``(pr, pc)`` grid for the HPC variants (must multiply to
         ``n_ranks``).
+    backend:
+        Execution backend registry name; overrides ``config.backend``.
+        ``"thread"`` (default) runs one thread per rank; ``"lockstep"`` runs
+        ranks one at a time in rank order — deterministic and able to
+        simulate hundreds of ranks (``parallel_nmf(A, k, 256,
+        backend="lockstep")`` never has more than one rank running).
 
     Examples
     --------
@@ -116,11 +126,15 @@ def parallel_nmf(
         raise ShapeError(f"n_ranks must be >= 1, got {n_ranks}")
 
     cfg = _build_config(k, config, **options).with_options(algorithm=algorithm, grid=grid)
+    if backend is not None:
+        cfg = cfg.with_options(backend=backend)
 
     if algorithm == Algorithm.SEQUENTIAL:
         return anls_nmf(A, cfg)
     if algorithm == Algorithm.NAIVE:
-        per_rank = run_spmd(n_ranks, naive_parallel_nmf, A, cfg, name="naive-nmf")
+        per_rank = run_spmd(
+            n_ranks, naive_parallel_nmf, A, cfg, name="naive-nmf", backend=cfg.backend
+        )
         return assemble_naive_result(per_rank, cfg)
-    per_rank = run_spmd(n_ranks, hpc_nmf, A, cfg, name="hpc-nmf")
+    per_rank = run_spmd(n_ranks, hpc_nmf, A, cfg, name="hpc-nmf", backend=cfg.backend)
     return assemble_hpc_result(per_rank, cfg)

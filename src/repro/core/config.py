@@ -55,6 +55,12 @@ class NMFConfig:
         argument).
     inner_iters:
         Inner sweeps for the iterative solvers (MU/HALS); ignored by BPP.
+    backend:
+        Execution backend for the parallel algorithms, by registry name:
+        ``"thread"`` (default; one thread per rank, real overlap) or
+        ``"lockstep"`` (deterministic rank-ordered scheduling, scales to
+        hundreds of simulated ranks).  See :mod:`repro.comm.backends`.
+        Ignored by the sequential algorithm.
     """
 
     k: int
@@ -66,6 +72,7 @@ class NMFConfig:
     grid: Optional[Tuple[int, int]] = None
     compute_error: bool = True
     inner_iters: int = 1
+    backend: str = "thread"
 
     def __post_init__(self):
         if self.k < 1:
@@ -76,6 +83,10 @@ class NMFConfig:
             raise ShapeError(f"tol must be >= 0, got {self.tol}")
         if self.inner_iters < 1:
             raise ShapeError(f"inner_iters must be >= 1, got {self.inner_iters}")
+        if not isinstance(self.backend, str) or not self.backend:
+            raise ShapeError(
+                f"backend must be a backend registry name, got {self.backend!r}"
+            )
         # Normalise the algorithm field so strings are accepted.
         object.__setattr__(self, "algorithm", Algorithm(self.algorithm))
 

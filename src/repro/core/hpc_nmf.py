@@ -145,6 +145,22 @@ def hpc_nmf(
     w_scatter_counts = block_counts(local_rows, pc)
     h_scatter_counts = block_counts(local_cols, pr)
 
+    # Reusable collective workspaces: every iteration runs the same
+    # collectives on the same shapes, so their results are written into
+    # persistent per-rank buffers instead of fresh allocations.  Each live
+    # result gets its own named buffer (gram_w and gram_h_new are both k × k
+    # but coexist in the error computation, so they must not share).
+    ws = comm.workspace
+    w_sub_rows = W_fac.global_range[1] - W_fac.global_range[0]
+    h_sub_cols = H_fac.global_range[1] - H_fac.global_range[0]
+    gram_h_buf = ws.get("gram_h", (k, k))
+    gram_w_buf = ws.get("gram_w", (k, k))
+    gram_h_new_buf = ws.get("gram_h_new", (k, k))
+    H_j_buf = ws.get("H_j", (k, local_cols))
+    W_i_buf = ws.get("W_i", (local_rows, k))
+    aht_buf = ws.get("aht_block", (w_sub_rows, k))
+    wta_buf = ws.get("wta_block", (k, h_sub_cols))
+
     history: list[IterationStats] = []
     converged = False
     previous_error = np.inf
@@ -157,14 +173,14 @@ def hpc_nmf(
         with profiler.task(TaskCategory.GRAM):
             U_ij = gram(H_fac.local, transpose_first=False)          # line 3
         with profiler.task(TaskCategory.ALL_REDUCE):
-            gram_h = comm.allreduce(U_ij)                            # line 4
+            gram_h = comm.allreduce(U_ij, out=gram_h_buf)            # line 4
         with profiler.task(TaskCategory.ALL_GATHER):
-            H_j = H_fac.col_block()                                  # line 5
+            H_j = H_fac.col_block(out=H_j_buf)                       # line 5
         with profiler.task(TaskCategory.MM):
             V_ij = matmul_a_ht(data.block, H_j.T)                    # line 6
         with profiler.task(TaskCategory.REDUCE_SCATTER):
             aht_block = grid.row_comm.reduce_scatter(                # line 7
-                V_ij, counts=w_scatter_counts, axis=0
+                V_ij, counts=w_scatter_counts, axis=0, out=aht_buf
             )
         with profiler.task(TaskCategory.NLS):
             Wt_local = solver.solve(                                 # line 8
@@ -178,14 +194,14 @@ def hpc_nmf(
         with profiler.task(TaskCategory.GRAM):
             X_ij = gram(W_fac.local, transpose_first=True)           # line 9
         with profiler.task(TaskCategory.ALL_REDUCE):
-            gram_w = comm.allreduce(X_ij)                            # line 10
+            gram_w = comm.allreduce(X_ij, out=gram_w_buf)            # line 10
         with profiler.task(TaskCategory.ALL_GATHER):
-            W_i = W_fac.row_block()                                  # line 11
+            W_i = W_fac.row_block(out=W_i_buf)                       # line 11
         with profiler.task(TaskCategory.MM):
             Y_ij = matmul_wt_a(W_i, data.block)                      # line 12
         with profiler.task(TaskCategory.REDUCE_SCATTER):
             wta_block = grid.col_comm.reduce_scatter(                # line 13
-                Y_ij, counts=h_scatter_counts, axis=1
+                Y_ij, counts=h_scatter_counts, axis=1, out=wta_buf
             )
         with profiler.task(TaskCategory.NLS):
             H_fac.local = solver.solve(gram_w, wta_block, x0=H_fac.local)  # line 14
@@ -195,7 +211,9 @@ def hpc_nmf(
         if config.compute_error:
             cross = comm.allreduce_scalar(local_cross_term(wta_block, H_fac.local))
             with profiler.task(TaskCategory.ALL_REDUCE):
-                gram_h_new = comm.allreduce(gram(H_fac.local, transpose_first=False))
+                gram_h_new = comm.allreduce(
+                    gram(H_fac.local, transpose_first=False), out=gram_h_new_buf
+                )
             objective = objective_from_grams(norm_a_sq, cross, gram_w, gram_h_new)
             rel_error = float(np.sqrt(objective / norm_a_sq)) if norm_a_sq > 0 else 0.0
             history.append(

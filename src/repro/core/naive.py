@@ -34,7 +34,6 @@ from repro.core.local_ops import gram, local_cross_term, matmul_a_ht, matmul_wt_
 from repro.core.objective import objective_from_grams
 from repro.core.result import IterationStats, NMFResult
 from repro.dist.distmatrix import DoublePartitioned1D
-from repro.dist.partition import block_counts, block_range
 
 
 def naive_parallel_nmf(comm: Comm, A, config: NMFConfig) -> dict:
@@ -86,15 +85,23 @@ def naive_parallel_nmf(comm: Comm, A, config: NMFConfig) -> dict:
     converged = False
     previous_error = np.inf
     iterations_run = 0
-    h_counts = block_counts(n, p)
-    w_counts = block_counts(m, p)
+
+    # Reusable collective workspaces: the two factor all-gathers and the
+    # error-path Gram all-reduce hit the same shapes every iteration, so
+    # their results land in persistent per-rank buffers instead of fresh
+    # allocations (§4.3's (m+n)k words are still *communicated*, the ledger
+    # is unaffected — only the receive-side allocation churn goes away).
+    ws = comm.workspace
+    H_full_buf = ws.get("H_full", (k, n))
+    W_full_buf = ws.get("W_full", (m, k))
+    gram_h_new_buf = ws.get("gram_h_new", (k, k))
 
     for iteration in range(config.max_iters):
         iter_start = time.perf_counter()
 
         # --- Compute W given H (lines 3-4) --------------------------------
         with profiler.task(TaskCategory.ALL_GATHER):
-            H = comm.allgatherv(H_local, axis=1)          # full k × n
+            H = comm.allgatherv(H_local, axis=1, out=H_full_buf)   # full k × n
         with profiler.task(TaskCategory.GRAM):
             gram_h = gram(H, transpose_first=False)        # redundant on every rank
         with profiler.task(TaskCategory.MM):
@@ -107,7 +114,7 @@ def naive_parallel_nmf(comm: Comm, A, config: NMFConfig) -> dict:
 
         # --- Compute H given W (lines 5-6) --------------------------------
         with profiler.task(TaskCategory.ALL_GATHER):
-            W = comm.allgatherv(W_local, axis=0)           # full m × k
+            W = comm.allgatherv(W_local, axis=0, out=W_full_buf)   # full m × k
         with profiler.task(TaskCategory.GRAM):
             gram_w = gram(W, transpose_first=True)         # redundant on every rank
         with profiler.task(TaskCategory.MM):
@@ -122,7 +129,9 @@ def naive_parallel_nmf(comm: Comm, A, config: NMFConfig) -> dict:
             # summed over ranks with small all-reduces.
             cross = comm.allreduce_scalar(local_cross_term(wt_a, H_local))
             with profiler.task(TaskCategory.ALL_REDUCE):
-                gram_h_new = comm.allreduce(gram(H_local, transpose_first=False))
+                gram_h_new = comm.allreduce(
+                    gram(H_local, transpose_first=False), out=gram_h_new_buf
+                )
             objective = objective_from_grams(norm_a_sq, cross, gram_w, gram_h_new)
             rel_error = float(np.sqrt(objective / norm_a_sq)) if norm_a_sq > 0 else 0.0
             history.append(

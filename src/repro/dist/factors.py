@@ -76,14 +76,15 @@ class DistributedFactorW:
         """An all-zero ``(W_i)_j`` (W needs no initialisation; see §6.1.3)."""
         return cls(grid, m, k)
 
-    def row_block(self) -> np.ndarray:
+    def row_block(self, out: np.ndarray = None) -> np.ndarray:
         """All-gather ``W_i (m/pr × k)`` over the grid row (line 11, collective).
 
         The row communicator orders ranks by grid column ``j``, matching the
         sub-block order, so a plain concatenation along axis 0 reassembles
-        ``W_i`` with its rows in global order.
+        ``W_i`` with its rows in global order.  ``out`` (shape
+        ``m/pr × k``) receives the gathered block without allocating.
         """
-        return self.grid.row_comm.allgatherv(self.local, axis=0)
+        return self.grid.row_comm.allgatherv(self.local, axis=0, out=out)
 
     def __repr__(self) -> str:
         return (
@@ -123,14 +124,15 @@ class DistributedFactorH:
         """An all-zero ``(H_j)_i`` (callers seed it with ``init_h_slice``)."""
         return cls(grid, k, n)
 
-    def col_block(self) -> np.ndarray:
+    def col_block(self, out: np.ndarray = None) -> np.ndarray:
         """All-gather ``H_j (k × n/pc)`` over the grid column (line 5, collective).
 
         The column communicator orders ranks by grid row ``i``, matching the
         sub-block order, so concatenation along axis 1 reassembles ``H_j``
-        with its columns in global order.
+        with its columns in global order.  ``out`` (shape ``k × n/pc``)
+        receives the gathered block without allocating.
         """
-        return self.grid.col_comm.allgatherv(self.local, axis=1)
+        return self.grid.col_comm.allgatherv(self.local, axis=1, out=out)
 
     def __repr__(self) -> str:
         return (

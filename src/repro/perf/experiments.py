@@ -97,11 +97,14 @@ def measured_breakdown(
     n_ranks: int,
     iterations: int = 3,
     seed: int = 1,
+    backend: str = "thread",
 ) -> TimeBreakdown:
-    """Run the algorithm for real on the SPMD backend; per-iteration breakdown.
+    """Run the algorithm for real on an SPMD backend; per-iteration breakdown.
 
     The error computation is disabled so the measured categories contain only
-    the six tasks of the paper's breakdown.
+    the six tasks of the paper's breakdown.  ``backend`` selects the
+    execution substrate (``"thread"`` for real overlap, ``"lockstep"`` for
+    deterministic runs and rank counts beyond the machine).
     """
     A = spec.load()
     result = parallel_nmf(
@@ -109,6 +112,7 @@ def measured_breakdown(
         k,
         n_ranks=n_ranks,
         algorithm=_VARIANT_TO_ALGORITHM[AlgorithmVariant(variant)],
+        backend=backend,
         max_iters=iterations,
         compute_error=False,
         seed=seed,
@@ -128,10 +132,12 @@ def comparison_vs_k(
     machine: Optional[MachineSpec] = None,
     variants: Sequence[AlgorithmVariant] = tuple(AlgorithmVariant),
     measured_iterations: int = 3,
+    backend: str = "thread",
 ) -> ExperimentResult:
     """Figure 3 a/c/e/g: per-iteration time vs rank ``k`` at a fixed core count.
 
-    ``dataset`` is one of ``"DSYN"``, ``"SSYN"``, ``"Video"``, ``"Webbase"``.
+    ``dataset`` is one of ``"DSYN"``, ``"SSYN"``, ``"Video"``, ``"Webbase"``;
+    ``backend`` selects the SPMD substrate for measured mode.
     """
     machine = machine or edison_machine()
     if mode == "modeled":
@@ -153,7 +159,7 @@ def comparison_vs_k(
                 breakdown = predicted_breakdown(variant, spec, k, p, machine=machine)
             else:
                 breakdown = measured_breakdown(
-                    spec, variant, k, p, iterations=measured_iterations
+                    spec, variant, k, p, iterations=measured_iterations, backend=backend
                 )
             result.points.append(
                 ComparisonPoint(
@@ -171,6 +177,7 @@ def strong_scaling(
     machine: Optional[MachineSpec] = None,
     variants: Sequence[AlgorithmVariant] = tuple(AlgorithmVariant),
     measured_iterations: int = 3,
+    backend: str = "thread",
 ) -> ExperimentResult:
     """Figure 3 b/d/f/h: per-iteration time vs core count at fixed ``k``."""
     machine = machine or edison_machine()
@@ -195,7 +202,7 @@ def strong_scaling(
                 breakdown = predicted_breakdown(variant, spec, k, p, machine=machine)
             else:
                 breakdown = measured_breakdown(
-                    spec, variant, k, p, iterations=measured_iterations
+                    spec, variant, k, p, iterations=measured_iterations, backend=backend
                 )
             result.points.append(
                 ComparisonPoint(
@@ -212,6 +219,7 @@ def table3_grid(
     datasets: Sequence[str] = ("DSYN", "SSYN", "Video", "Webbase"),
     core_counts: Optional[Sequence[int]] = None,
     measured_iterations: int = 3,
+    backend: str = "thread",
 ) -> Dict[str, Dict[str, Dict[int, float]]]:
     """Table 3: per-iteration seconds for every (algorithm, dataset, cores).
 
@@ -238,7 +246,8 @@ def table3_grid(
                     breakdown = predicted_breakdown(variant, spec, k, p, machine=machine)
                 else:
                     breakdown = measured_breakdown(
-                        spec, variant, min(k, 8), p, iterations=measured_iterations
+                        spec, variant, min(k, 8), p,
+                        iterations=measured_iterations, backend=backend,
                     )
                 column[p] = breakdown.total
             out[variant.value][dataset] = column

@@ -1,0 +1,101 @@
+"""Property tests: the point-to-point collectives on non-power-of-two sizes.
+
+The fold/unfold adaptation (MPICH's scheme) must make every collective agree
+with the plain numpy reference for communicator sizes that are *not* powers
+of two — the regime the original recursive-doubling/halving algorithms do
+not cover.  Runs on the lockstep backend so each hypothesis example is
+deterministic and cheap.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm import ReduceOp, run_spmd
+from repro.comm.collectives import (
+    recursive_doubling_allgather,
+    recursive_halving_reduce_scatter,
+    reduce_scatter_allgather_allreduce,
+    ring_allgather,
+)
+
+NON_POWER_OF_TWO_SIZES = [3, 5, 6, 7]
+
+
+def _locals(p, rows, cols, seed):
+    rng = np.random.default_rng(seed)
+    return [rng.standard_normal((rows, cols)) for _ in range(p)]
+
+
+@pytest.mark.parametrize("p", NON_POWER_OF_TWO_SIZES)
+@given(rows=st.integers(1, 4), cols=st.integers(1, 3), seed=st.integers(0, 2**31 - 1))
+@settings(max_examples=10, deadline=None)
+def test_ring_allgather_matches_reference(p, rows, cols, seed):
+    locals_ = _locals(p, rows, cols, seed)
+
+    def program(comm):
+        return ring_allgather(comm, locals_[comm.rank])
+
+    for gathered in run_spmd(p, program, backend="lockstep"):
+        assert len(gathered) == p
+        for block, reference in zip(gathered, locals_):
+            np.testing.assert_array_equal(block, reference)
+
+
+@pytest.mark.parametrize("p", NON_POWER_OF_TWO_SIZES)
+@given(rows=st.integers(1, 4), cols=st.integers(1, 3), seed=st.integers(0, 2**31 - 1))
+@settings(max_examples=10, deadline=None)
+def test_recursive_doubling_allgather_matches_reference(p, rows, cols, seed):
+    locals_ = _locals(p, rows, cols, seed)
+
+    def program(comm):
+        return recursive_doubling_allgather(comm, locals_[comm.rank])
+
+    for gathered in run_spmd(p, program, backend="lockstep"):
+        assert len(gathered) == p
+        for block, reference in zip(gathered, locals_):
+            np.testing.assert_array_equal(block, reference)
+
+
+@pytest.mark.parametrize("p", NON_POWER_OF_TWO_SIZES)
+@given(
+    blocks=st.integers(1, 3),
+    extra=st.integers(0, 4),
+    cols=st.integers(1, 3),
+    seed=st.integers(0, 2**31 - 1),
+    op=st.sampled_from([ReduceOp.SUM, ReduceOp.MAX, ReduceOp.MIN]),
+)
+@settings(max_examples=10, deadline=None)
+def test_recursive_halving_reduce_scatter_matches_reference(p, blocks, extra, cols, seed, op):
+    # Total length deliberately not a multiple of p whenever extra > 0.
+    rows = p * blocks + extra
+    locals_ = _locals(p, rows, cols, seed)
+    reduced = locals_[0]
+    for a in locals_[1:]:
+        reduced = op.combine([reduced, a])
+    base, rem = divmod(rows, p)
+    counts = [base + (1 if r < rem else 0) for r in range(p)]
+    offsets = np.concatenate(([0], np.cumsum(counts)))
+
+    def program(comm):
+        return recursive_halving_reduce_scatter(comm, locals_[comm.rank], op=op)
+
+    results = run_spmd(p, program, backend="lockstep")
+    for rank, piece in enumerate(results):
+        lo, hi = offsets[rank], offsets[rank + 1]
+        np.testing.assert_allclose(piece, reduced[lo:hi], rtol=1e-12, atol=1e-12)
+
+
+@pytest.mark.parametrize("p", NON_POWER_OF_TWO_SIZES)
+@given(rows=st.integers(1, 5), cols=st.integers(1, 3), seed=st.integers(0, 2**31 - 1))
+@settings(max_examples=10, deadline=None)
+def test_rabenseifner_allreduce_matches_reference(p, rows, cols, seed):
+    locals_ = _locals(p, rows, cols, seed)
+    expected = sum(locals_)
+
+    def program(comm):
+        return reduce_scatter_allgather_allreduce(comm, locals_[comm.rank])
+
+    for total in run_spmd(p, program, backend="lockstep"):
+        np.testing.assert_allclose(total, expected, rtol=1e-12, atol=1e-12)

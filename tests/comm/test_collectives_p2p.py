@@ -12,7 +12,6 @@ from repro.comm.collectives import (
     reduce_scatter_allgather_allreduce,
     ring_allgather,
 )
-from repro.util.errors import CommunicatorError
 
 
 @pytest.mark.parametrize("p", [1, 2, 3, 4, 6])
@@ -29,7 +28,7 @@ def test_ring_allgather_matches_native(p):
     assert all(run_spmd(p, program))
 
 
-@pytest.mark.parametrize("p", [1, 2, 4, 8])
+@pytest.mark.parametrize("p", [1, 2, 3, 4, 5, 7, 8])
 def test_recursive_doubling_allgather_matches_native(p):
     def program(comm):
         local = np.arange(4, dtype=float) + 10 * comm.rank
@@ -42,16 +41,7 @@ def test_recursive_doubling_allgather_matches_native(p):
     assert all(run_spmd(p, program))
 
 
-def test_recursive_doubling_allgather_rejects_non_power_of_two():
-    def program(comm):
-        with pytest.raises(CommunicatorError):
-            recursive_doubling_allgather(comm, np.zeros(2))
-        return True
-
-    assert all(run_spmd(3, program))
-
-
-@pytest.mark.parametrize("p", [1, 2, 4, 8])
+@pytest.mark.parametrize("p", [1, 2, 3, 4, 5, 6, 7, 8])
 def test_recursive_halving_reduce_scatter_matches_native(p):
     def program(comm):
         rng = np.random.default_rng(100 + comm.rank)
@@ -64,7 +54,7 @@ def test_recursive_halving_reduce_scatter_matches_native(p):
     assert all(run_spmd(p, program))
 
 
-@pytest.mark.parametrize("p", [1, 2, 4, 8])
+@pytest.mark.parametrize("p", [1, 2, 3, 5, 6, 8])
 def test_recursive_doubling_allreduce_matches_native(p):
     def program(comm):
         rng = np.random.default_rng(7 + comm.rank)
@@ -77,7 +67,7 @@ def test_recursive_doubling_allreduce_matches_native(p):
     assert all(run_spmd(p, program))
 
 
-@pytest.mark.parametrize("p", [1, 2, 4, 8])
+@pytest.mark.parametrize("p", [1, 2, 3, 5, 6, 7, 8])
 def test_rabenseifner_allreduce_matches_native(p):
     def program(comm):
         rng = np.random.default_rng(42 + comm.rank)
