@@ -8,13 +8,13 @@ confirming that the paper's rule (m/pr ~= n/pc) minimizes the words moved.
 import numpy as np
 
 from repro.comm.grid import choose_grid, factor_pairs
-from repro.core.api import parallel_nmf
+from repro.core.api import fit
 from repro.data.synthetic import dense_synthetic
 
 
 def _run_grid(A, k, p, grid):
-    res = parallel_nmf(
-        A, k, n_ranks=p, algorithm="hpc2d", grid=grid, max_iters=2,
+    res = fit(
+        A, k, n_ranks=p, variant="hpc2d", grid=grid, max_iters=2,
         compute_error=False, seed=3,
     )
     words = sum(e["words"] for e in res.ledger_summary.values())

@@ -6,7 +6,7 @@ factorization in both layouts, quantifying the effect the paper's future-work
 section anticipates.
 """
 
-from repro.core.api import parallel_nmf
+from repro.core.api import fit
 from repro.data.webgraph import web_graph_matrix
 from repro.dist.load_balance import imbalance_factor, random_permutation_balance
 
@@ -28,7 +28,7 @@ def test_load_balance_ablation(benchmark, write_artifact):
     rows.append("Per-iteration wall clock (k=8, 4 ranks, HPC-NMF-2D):")
     timings = {}
     for label, matrix in (("original", A), ("permuted", permuted)):
-        res = parallel_nmf(matrix, 8, n_ranks=4, algorithm="hpc2d", max_iters=2,
+        res = fit(matrix, 8, n_ranks=4, variant="hpc2d", max_iters=2,
                            compute_error=False, seed=2)
         timings[label] = res.seconds_per_iteration
         rows.append(f"  {label:>10}: {res.seconds_per_iteration:.4f} s/iter")
@@ -40,7 +40,7 @@ def test_load_balance_ablation(benchmark, write_artifact):
         assert reports[("permuted", grid)] <= reports[("original", grid)] * 1.25
 
     def run_permuted():
-        return parallel_nmf(permuted, 8, n_ranks=4, algorithm="hpc2d", max_iters=1,
+        return fit(permuted, 8, n_ranks=4, variant="hpc2d", max_iters=1,
                             compute_error=False, seed=2)
 
     result = benchmark.pedantic(run_permuted, rounds=1, iterations=1)

@@ -7,7 +7,7 @@ and the relative error reached, so the per-iteration-cost / convergence-rate
 trade-off the paper describes is visible.
 """
 
-from repro.core.api import parallel_nmf
+from repro.core.api import fit
 from repro.data.lowrank import planted_lowrank
 
 
@@ -23,8 +23,8 @@ def test_solver_ablation(benchmark, write_artifact):
     ]
     errors = {}
     for solver in SOLVERS:
-        res = parallel_nmf(
-            A, 8, n_ranks=4, algorithm="hpc2d", solver=solver, max_iters=iters, seed=6
+        res = fit(
+            A, 8, n_ranks=4, variant="hpc2d", solver=solver, max_iters=iters, seed=6
         )
         errors[solver] = res.relative_error
         nls_share = res.breakdown.get("NLS") / res.breakdown.total
@@ -40,8 +40,8 @@ def test_solver_ablation(benchmark, write_artifact):
     assert errors["bpp"] <= min(errors["mu"], errors["hals"]) + 1e-6
 
     def run_bpp():
-        return parallel_nmf(
-            A, 8, n_ranks=4, algorithm="hpc2d", solver="bpp", max_iters=2,
+        return fit(
+            A, 8, n_ranks=4, variant="hpc2d", solver="bpp", max_iters=2,
             compute_error=False, seed=6,
         )
 

@@ -12,7 +12,7 @@ the cost ledger are asserted against the same closed forms in the unit tests).
 
 import numpy as np
 
-from repro.core.api import parallel_nmf
+from repro.core.api import fit
 from repro.data.registry import paper_scale
 from repro.data.synthetic import dense_synthetic
 from repro.perf.model import table2_costs
@@ -51,8 +51,8 @@ def test_table2_costs(benchmark, write_artifact):
     A = dense_synthetic(256, 192, seed=0)
 
     def one_iteration():
-        return parallel_nmf(
-            A, 8, n_ranks=4, algorithm="hpc2d", max_iters=1, compute_error=False, seed=1
+        return fit(
+            A, 8, n_ranks=4, variant="hpc2d", max_iters=1, compute_error=False, seed=1
         )
 
     result = benchmark.pedantic(one_iteration, rounds=1, iterations=1)

@@ -19,6 +19,7 @@ from __future__ import annotations
 import os
 from typing import Callable, Optional, Sequence, Tuple
 
+from repro.core.variants import available_variants
 from repro.perf.experiments import (
     ExperimentResult,
     comparison_vs_k,
@@ -28,6 +29,12 @@ from repro.perf.experiments import (
 from repro.perf.model import AlgorithmVariant
 from repro.perf.report import render_breakdown_table, to_csv
 from repro.data.registry import measured_scale
+
+# The measured-mode runs go through repro.fit's variant registry; fail loudly
+# at import time if the benchmarked variants were ever unregistered.
+_missing = [v.value for v in AlgorithmVariant if v.value not in available_variants()]
+if _missing:  # pragma: no cover - registry regression guard
+    raise RuntimeError(f"benchmarked variants missing from the registry: {_missing}")
 
 
 def _resolve_backend(backend: Optional[str]) -> str:

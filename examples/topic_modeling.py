@@ -21,7 +21,7 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
-from repro import parallel_nmf
+from repro import fit
 
 VOCAB_SIZE = 2_000
 N_DOCS = 800
@@ -72,8 +72,7 @@ def main() -> None:
     print(f"  matrix: {A.shape[0]} x {A.shape[1]}, density {density:.4f} "
           f"({A.nnz} nonzeros)\n")
 
-    result = parallel_nmf(A, k=N_TOPICS, n_ranks=4, algorithm="hpc2d",
-                          max_iters=30, seed=13)
+    result = fit(A, N_TOPICS, variant="hpc2d", n_ranks=4, max_iters=30, seed=13)
     print(f"HPC-NMF on 4 ranks: grid {result.grid_shape}, "
           f"relative error {result.relative_error:.4f}\n")
 

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import parallel_nmf
+from repro import fit
 from repro.data.video import VideoSceneConfig, background_foreground_split, video_matrix
 
 
@@ -28,7 +28,7 @@ def main() -> None:
     print(f"  frames-as-columns matrix: {m} x {n} (tall and skinny, as in the paper)\n")
 
     # The tall-and-skinny shape makes the paper's grid rule pick a 1D grid.
-    result = parallel_nmf(A, k=6, n_ranks=4, algorithm="hpc2d", max_iters=25, seed=11)
+    result = fit(A, 6, variant="hpc2d", n_ranks=4, max_iters=25, seed=11)
     print(f"Processor grid chosen by the §5 rule: {result.grid_shape} (1D, as expected)")
     print(f"Relative error of the rank-6 background model: {result.relative_error:.4f}\n")
 

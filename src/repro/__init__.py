@@ -24,16 +24,18 @@ Factorization" (Kannan, Ballard, Park; PPoPP 2016):
 Quickstart
 ----------
 >>> import numpy as np
->>> from repro import nmf
+>>> from repro import fit
 >>> A = np.abs(np.random.default_rng(0).standard_normal((200, 150)))
->>> result = nmf(A, k=10, max_iters=20, seed=0)
+>>> result = fit(A, 10, max_iters=20, seed=0)
 >>> result.W.shape, result.H.shape
 ((200, 10), (10, 150))
 
-The top-level entry points (:func:`repro.nmf`, :func:`repro.parallel_nmf`,
-:class:`repro.NMFConfig`, :class:`repro.NMFResult`) are re-exported lazily so
-that importing a subpackage (for example :mod:`repro.comm` in an SPMD worker)
-does not pull in the whole library.
+Every NMF flavor runs through :func:`repro.fit` (or the estimator-style
+:class:`repro.NMF`) by variant registry name — ``fit(A, k,
+variant="hpc2d", n_ranks=16, backend="lockstep")`` — see
+:mod:`repro.core.variants`.  The top-level entry points are re-exported
+lazily so that importing a subpackage (for example :mod:`repro.comm` in an
+SPMD worker) does not pull in the whole library.
 """
 
 from __future__ import annotations
@@ -43,18 +45,30 @@ from typing import Any
 __version__ = "1.0.0"
 
 __all__ = [
+    "fit",
+    "NMF",
     "nmf",
     "parallel_nmf",
     "NMFConfig",
     "NMFResult",
+    "IterationObserver",
+    "available_variants",
+    "get_variant",
+    "register_variant",
     "__version__",
 ]
 
 _LAZY_EXPORTS = {
+    "fit": ("repro.core.api", "fit"),
+    "NMF": ("repro.core.api", "NMF"),
     "nmf": ("repro.core.api", "nmf"),
     "parallel_nmf": ("repro.core.api", "parallel_nmf"),
     "NMFConfig": ("repro.core.config", "NMFConfig"),
     "NMFResult": ("repro.core.result", "NMFResult"),
+    "IterationObserver": ("repro.core.observers", "IterationObserver"),
+    "available_variants": ("repro.core.variants", "available_variants"),
+    "get_variant": ("repro.core.variants", "get_variant"),
+    "register_variant": ("repro.core.variants", "register_variant"),
 }
 
 

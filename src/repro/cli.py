@@ -1,12 +1,17 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Three subcommands cover the common workflows:
+Four subcommands cover the common workflows:
 
-* ``factorize`` — run NMF (sequential or parallel) on a registered dataset or
+* ``factorize`` — run any registered NMF variant on a registered dataset or
   an ``.npy``/``.npz`` file and print the result summary;
+* ``variants`` — list the registered variants and their capability flags;
 * ``experiment`` — regenerate one of the paper's figures/tables (modeled at
   paper scale, optionally measured at laptop scale);
 * ``datasets`` — list the registered datasets and their dimensions.
+
+The ``--variant``, ``--solver`` and ``--backend`` choices are derived from
+the variant / solver / backend registries, so registering a new entry
+anywhere makes it immediately reachable from the CLI.
 """
 
 from __future__ import annotations
@@ -19,20 +24,30 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.comm.backends import available_backends
-from repro.core.api import nmf, parallel_nmf
-from repro.data.registry import DATASETS, load_dataset
+from repro.core.api import fit
+from repro.core.variants import available_variants, get_variant
+from repro.data.registry import DATASETS, PAPER_DATASETS, load_dataset, measured_scale
+from repro.nls.base import available_solvers
 from repro.perf.experiments import comparison_vs_k, strong_scaling, table3_grid
 from repro.perf.report import render_breakdown_table, render_table3, to_csv
 
 
 def _load_input(name_or_path: str):
-    """Load a registered dataset by name, or a matrix from an .npy/.npz file."""
+    """Load a dataset by registry name or paper name, or a matrix from a file.
+
+    Accepts the measured-scale registry names (``ssyn-small``), the paper's
+    dataset names (``SSYN`` resolves to the measured-scale instance) and
+    ``.npy``/``.npz`` paths.
+    """
     if name_or_path in DATASETS:
         return load_dataset(name_or_path)
+    if name_or_path in PAPER_DATASETS:
+        return measured_scale(name_or_path).load()
     path = Path(name_or_path)
     if not path.exists():
+        known = sorted(DATASETS) + sorted(PAPER_DATASETS)
         raise SystemExit(
-            f"'{name_or_path}' is neither a registered dataset ({', '.join(sorted(DATASETS))}) "
+            f"'{name_or_path}' is neither a registered dataset ({', '.join(known)}) "
             "nor an existing file"
         )
     if path.suffix == ".npz":
@@ -45,25 +60,45 @@ def _load_input(name_or_path: str):
 
 
 def _cmd_factorize(args: argparse.Namespace) -> int:
-    A = _load_input(args.input)
-    if args.ranks <= 1 and args.algorithm == "sequential":
-        result = nmf(A, args.k, max_iters=args.iters, solver=args.solver, seed=args.seed)
-    else:
-        result = parallel_nmf(
-            A,
-            args.k,
-            n_ranks=max(args.ranks, 1),
-            algorithm=args.algorithm,
-            backend=args.backend,
-            max_iters=args.iters,
-            solver=args.solver,
-            seed=args.seed,
+    if args.ranks < 1:
+        raise SystemExit(f"--ranks must be >= 1, got {args.ranks}")
+    variant = get_variant(args.variant)
+    if args.ranks > 1 and not variant.parallelizable:
+        parallel = [v for v in available_variants() if get_variant(v).parallelizable]
+        raise SystemExit(
+            f"--ranks {args.ranks} needs a parallelizable variant, but "
+            f"{variant.name!r} is sequential-only; pick one of {parallel} "
+            "or drop --ranks"
         )
+    A = _load_input(args.input)
+    result = fit(
+        A,
+        args.k,
+        variant=args.variant,
+        n_ranks=args.ranks if variant.parallelizable else None,
+        backend=args.backend,
+        max_iters=args.iters,
+        solver=args.solver,
+        seed=args.seed,
+    )
     print(result.summary())
     if args.save:
-        np.savez(args.save, W=result.W, H=result.H,
-                 relative_error=result.relative_error)
-        print(f"factors written to {args.save}")
+        written = result.save(args.save)
+        print(f"result written to {written} (reload with repro.NMFResult.load)")
+    return 0
+
+
+def _cmd_variants(_args: argparse.Namespace) -> int:
+    flags = ("parallelizable", "sparse_ok", "symmetric_input", "supports_regularization")
+    header = f"{'name':>12}  " + "  ".join(f"{f:>{len(f)}}" for f in flags) + "  summary"
+    print(header)
+    for name in available_variants():
+        variant = get_variant(name)
+        caps = variant.capabilities()
+        cells = "  ".join(
+            f"{'yes' if caps[f] else '-':>{len(f)}}" for f in flags
+        )
+        print(f"{name:>12}  {cells}  {variant.summary}")
     return 0
 
 
@@ -107,24 +142,33 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     fact = sub.add_parser("factorize", help="run NMF on a dataset or matrix file")
-    fact.add_argument("input", help="registered dataset name or .npy/.npz file")
+    fact.add_argument("input",
+                      help="registered dataset name, paper dataset name "
+                           "(SSYN/DSYN/Video/Webbase), or .npy/.npz file")
     fact.add_argument("-k", type=int, required=True, help="target rank")
-    fact.add_argument("--ranks", type=int, default=1, help="number of SPMD ranks")
-    fact.add_argument("--algorithm", default="hpc2d",
-                      choices=["sequential", "naive", "hpc1d", "hpc2d"])
-    fact.add_argument("--backend", default="thread", choices=available_backends(),
+    fact.add_argument("--ranks", type=int, default=1,
+                      help="number of SPMD ranks (parallelizable variants only)")
+    fact.add_argument("--variant", "--algorithm", dest="variant", default="hpc2d",
+                      choices=available_variants(),
+                      help="NMF variant by registry name "
+                           "(--algorithm is a deprecated alias)")
+    fact.add_argument("--backend", default=None, choices=available_backends(),
                       help="SPMD execution backend (lockstep = deterministic, "
-                           "scales to hundreds of simulated ranks)")
-    fact.add_argument("--solver", default="bpp",
-                      choices=["bpp", "mu", "hals", "pgrad", "admm"])
+                           "scales to hundreds of simulated ranks); ignored by "
+                           "sequential-only variants")
+    fact.add_argument("--solver", default="bpp", choices=available_solvers(),
+                      help="local NLS solver by registry name")
     fact.add_argument("--iters", type=int, default=20, help="outer iterations")
     fact.add_argument("--seed", type=int, default=42)
-    fact.add_argument("--save", help="write factors to this .npz path")
+    fact.add_argument("--save", help="write the full result to this .npz path")
     fact.set_defaults(func=_cmd_factorize)
+
+    var = sub.add_parser("variants", help="list registered NMF variants")
+    var.set_defaults(func=_cmd_variants)
 
     exp = sub.add_parser("experiment", help="regenerate a paper figure or table")
     exp.add_argument("name", choices=["comparison", "scaling", "table3"])
-    exp.add_argument("--dataset", choices=["DSYN", "SSYN", "Video", "Webbase"])
+    exp.add_argument("--dataset", choices=sorted(PAPER_DATASETS))
     exp.add_argument("--mode", default="modeled", choices=["modeled", "measured"])
     exp.add_argument("--backend", default="thread", choices=available_backends(),
                      help="SPMD execution backend for measured mode")

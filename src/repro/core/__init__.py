@@ -6,8 +6,15 @@
   all-gathers whole factor matrices every iteration;
 * :mod:`repro.core.hpc_nmf` — Algorithm 3, HPC-NMF on a ``pr × pc`` processor
   grid (the 1D variant is the grid ``(p, 1)``);
-* :mod:`repro.core.api` — the user-facing ``nmf`` / ``parallel_nmf`` entry
-  points used by the examples and benchmarks.
+* :mod:`repro.core.api` — the user-facing front door: :func:`repro.fit` and
+  the :class:`repro.NMF` estimator (plus the deprecated ``nmf`` /
+  ``parallel_nmf`` shims) used by the examples and benchmarks;
+* :mod:`repro.core.variants` — the variant registry behind ``fit``; one
+  registered descriptor per NMF flavor, with capability flags;
+* :mod:`repro.core.observers` — the per-iteration observer protocol threaded
+  through every variant's outer loop, plus the composable built-in observers
+  (history capture, tolerance stop, wall-clock budget, checkpointing,
+  progress printing).
 
 Extensions beyond the paper's headline algorithms (motivated by its use cases
 and future-work discussion):
@@ -20,9 +27,19 @@ and future-work discussion):
   (the §6.1.1 streaming scenario).
 """
 
-from repro.core.api import nmf, parallel_nmf
+from repro.core.api import NMF, fit, nmf, parallel_nmf
 from repro.core.anls import anls_nmf
 from repro.core.config import NMFConfig
+from repro.core.observers import (
+    CallbackObserver,
+    CheckpointEvery,
+    HistoryRecorder,
+    IterationEvent,
+    IterationObserver,
+    ProgressPrinter,
+    ToleranceStop,
+    WallClockBudget,
+)
 from repro.core.result import NMFResult, IterationStats
 from repro.core.objective import (
     frobenius_error,
@@ -32,14 +49,34 @@ from repro.core.objective import (
 from repro.core.regularized import Regularization, regularized_nmf
 from repro.core.symmetric import SymNMFResult, symmetric_nmf
 from repro.core.streaming import StreamingNMF
+from repro.core.variants import (
+    Variant,
+    available_variants,
+    get_variant,
+    register_variant,
+)
 
 __all__ = [
+    "fit",
+    "NMF",
     "nmf",
     "parallel_nmf",
     "anls_nmf",
     "NMFConfig",
     "NMFResult",
     "IterationStats",
+    "IterationObserver",
+    "IterationEvent",
+    "HistoryRecorder",
+    "ToleranceStop",
+    "WallClockBudget",
+    "CheckpointEvery",
+    "ProgressPrinter",
+    "CallbackObserver",
+    "Variant",
+    "available_variants",
+    "get_variant",
+    "register_variant",
     "frobenius_error",
     "relative_error",
     "objective_from_grams",

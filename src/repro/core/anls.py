@@ -15,7 +15,7 @@ object is reused verbatim there.
 from __future__ import annotations
 
 import time
-from typing import Callable, Optional
+from typing import Callable, Optional, Sequence
 
 import numpy as np
 
@@ -24,7 +24,8 @@ from repro.core.config import Algorithm, NMFConfig
 from repro.core.initialization import init_h_global
 from repro.core.local_ops import gram, matmul_a_ht, matmul_wt_a
 from repro.core.objective import frobenius_norm_squared, objective_from_grams
-from repro.core.result import IterationStats, NMFResult
+from repro.core.observers import CallbackObserver, IterationObserver, LoopControl
+from repro.core.result import NMFResult
 from repro.util.validation import check_matrix, check_nonnegative, check_rank
 
 
@@ -32,6 +33,7 @@ def anls_nmf(
     A,
     config: NMFConfig,
     callback: Optional[Callable[[int, float], None]] = None,
+    observers: Optional[Sequence[IterationObserver]] = None,
 ) -> NMFResult:
     """Run sequential ANLS NMF (Algorithm 1) on a dense or sparse matrix ``A``.
 
@@ -44,7 +46,11 @@ def anls_nmf(
         sequential reference).
     callback:
         Optional ``callback(iteration, relative_error)`` invoked after each
-        iteration when error computation is enabled.
+        iteration when error computation is enabled.  Deprecated spelling of
+        ``observers=[CallbackObserver(callback)]``.
+    observers:
+        :class:`~repro.core.observers.IterationObserver` objects notified
+        after every outer iteration; any of them may request an early stop.
 
     Returns
     -------
@@ -64,10 +70,10 @@ def anls_nmf(
     Wt = np.zeros((k, m))
     norm_a_sq = frobenius_norm_squared(A)
 
-    history: list[IterationStats] = []
-    converged = False
-    previous_error = np.inf
-    iterations_run = 0
+    observer_list = list(observers or ())
+    if callback is not None:
+        observer_list.append(CallbackObserver(callback))
+    control = LoopControl(config, observer_list, variant="sequential").start()
 
     for iteration in range(config.max_iters):
         iter_start = time.perf_counter()
@@ -89,37 +95,32 @@ def anls_nmf(
         with profiler.task(TaskCategory.NLS):
             H = solver.solve(gram_w, wt_a, x0=H)
 
-        iterations_run = iteration + 1
-
+        objective = rel_error = float("nan")
         if config.compute_error:
             # Gram trick: the cross term reuses Wᵀ A and the new H.
             cross = float(np.vdot(wt_a, H))
             gram_h_new = gram(H, transpose_first=False)
             objective = objective_from_grams(norm_a_sq, cross, gram_w, gram_h_new)
             rel_error = float(np.sqrt(objective / norm_a_sq)) if norm_a_sq > 0 else 0.0
-            history.append(
-                IterationStats(
-                    iteration=iteration,
-                    objective=objective,
-                    relative_error=rel_error,
-                    seconds=time.perf_counter() - iter_start,
-                )
-            )
-            if callback is not None:
-                callback(iteration, rel_error)
-            if config.tol > 0 and previous_error - rel_error < config.tol:
-                converged = True
-                break
-            previous_error = rel_error
+        if control.record(
+            iteration,
+            objective=objective,
+            relative_error=rel_error,
+            seconds=time.perf_counter() - iter_start,
+            factors=(W, H),
+        ):
+            break
 
-    return NMFResult(
+    result = NMFResult(
         W=np.ascontiguousarray(W),
         H=np.ascontiguousarray(H),
         config=config.with_options(algorithm=Algorithm.SEQUENTIAL),
-        iterations=iterations_run,
-        history=history,
+        iterations=control.iterations,
+        history=control.history,
         breakdown=profiler.snapshot(),
         n_ranks=1,
         grid_shape=None,
-        converged=converged,
+        converged=control.converged,
+        variant="sequential",
     )
+    return control.finish(result)

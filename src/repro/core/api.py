@@ -1,38 +1,293 @@
-"""User-facing entry points.
+"""User-facing entry points: the registry-driven front door.
 
-:func:`nmf` runs the sequential reference (Algorithm 1); :func:`parallel_nmf`
-runs Algorithm 2 or Algorithm 3 on an SPMD execution backend (``"thread"`` by
-default, ``"lockstep"`` for deterministic runs and large simulated grids —
-see :mod:`repro.comm.backends`) and assembles the global factors.  Both
-accept dense ndarrays or scipy sparse matrices and return an
-:class:`~repro.core.result.NMFResult`.
+:func:`fit` runs any registered variant — ``sequential`` (Algorithm 1),
+``naive`` (Algorithm 2), ``hpc1d``/``hpc2d`` (Algorithm 3), ``symmetric``,
+``regularized``, ``streaming`` — through one code path: resolve the variant
+in the registry (:mod:`repro.core.variants`), build the
+:class:`~repro.core.config.NMFConfig`, enforce the variant's capability
+flags, and hand off to its uniform ``run(A, config, observers)`` entry
+point.  :class:`NMF` is the estimator-style spelling of the same thing.
+
+The pre-registry entry points :func:`nmf` and :func:`parallel_nmf` survive
+as thin deprecation shims over :func:`fit`.
+
+Examples
+--------
+>>> import numpy as np
+>>> rng = np.random.default_rng(0)
+>>> A = rng.random((60, 40))
+>>> res = fit(A, 5, max_iters=10, seed=1)          # sequential by default
+>>> res.variant, res.W.shape, res.H.shape
+('sequential', (60, 5), (5, 40))
+>>> par = fit(A, 5, n_ranks=4, max_iters=5, seed=1)  # n_ranks > 1 -> hpc2d
+>>> par.variant, par.n_ranks, par.grid_shape
+('hpc2d', 4, (2, 2))
+>>> np.allclose(res.W, fit(A, 5, variant="sequential", max_iters=10, seed=1).W)
+True
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple, Union
+import warnings
+from dataclasses import fields as dataclass_fields
+from typing import Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.comm.backends import run_spmd
-from repro.core.anls import anls_nmf
 from repro.core.config import Algorithm, NMFConfig
-from repro.core.hpc_nmf import assemble_hpc_result, hpc_nmf
-from repro.core.naive import assemble_naive_result, naive_parallel_nmf
+from repro.core.observers import IterationObserver
 from repro.core.result import NMFResult
+from repro.core.variants import available_variants, get_variant
 from repro.util.errors import ShapeError
-from repro.util.validation import check_matrix, check_nonnegative, check_rank
+from repro.util.validation import is_sparse
+
+_CONFIG_FIELDS = frozenset(f.name for f in dataclass_fields(NMFConfig))
 
 
-def _build_config(k: int, config: Optional[NMFConfig], **kwargs) -> NMFConfig:
+def _build_config(k: Optional[int], config: Optional[NMFConfig], **kwargs) -> NMFConfig:
+    """Combine the positional rank, an optional base config and field overrides.
+
+    A positional ``k`` that disagrees with ``config.k`` is a contradiction we
+    refuse to guess about (the old behaviour silently preferred ``k``).
+    """
     if config is not None:
         if kwargs:
             config = config.with_options(**kwargs)
-        if config.k != k:
-            config = config.with_options(k=k)
+        if k is not None and config.k != k:
+            raise ShapeError(
+                f"rank mismatch: called with k={k} but config.k={config.k}; "
+                "pass matching values or omit one of them"
+            )
         return config
+    if k is None:
+        raise ShapeError("a target rank is required: pass k or a config with k set")
     return NMFConfig(k=k, **kwargs)
 
+
+def fit(
+    A,
+    k: Optional[int] = None,
+    *,
+    variant: Optional[str] = None,
+    n_ranks: Optional[int] = None,
+    grid: Optional[Tuple[int, int]] = None,
+    backend: Optional[str] = None,
+    config: Optional[NMFConfig] = None,
+    observers: Sequence[IterationObserver] = (),
+    **options,
+) -> NMFResult:
+    """Compute a rank-``k`` NMF of ``A`` with any registered variant.
+
+    This is the front door to every NMF flavor in the package: the paper's
+    Algorithm 1/2/3 family and the extension variants all run through this
+    one code path, differing only in the ``variant`` registry name.
+
+    Parameters
+    ----------
+    A:
+        Nonnegative ``m × n`` matrix (dense ndarray or scipy sparse; sparse
+        input requires a variant with the ``sparse_ok`` capability).
+    k:
+        Target rank.  May be omitted when ``config`` carries it; a ``k`` that
+        contradicts ``config.k`` raises :class:`~repro.util.errors.ShapeError`.
+    variant:
+        Registry name (see :func:`repro.core.variants.available_variants`).
+        Default: ``"sequential"``, or ``"hpc2d"`` when ``n_ranks > 1``.
+    n_ranks:
+        Number of SPMD ranks for parallelizable variants (stored as
+        ``config.n_ranks``).  Sequential-only variants reject ``n_ranks > 1``
+        — no silent fallback.
+    grid:
+        Explicit ``(pr, pc)`` processor grid for the HPC variants.
+    backend:
+        Execution backend registry name (``"thread"``, ``"lockstep"``, ...);
+        overrides ``config.backend``.  Ignored by sequential-only variants.
+    config:
+        Full :class:`NMFConfig`; keyword ``options`` override single fields.
+    observers:
+        :class:`~repro.core.observers.IterationObserver` objects notified
+        after every outer iteration of the variant's loop; any observer can
+        request an early stop.
+    **options:
+        Remaining keywords are split by name: :class:`NMFConfig` fields
+        (``max_iters``, ``tol``, ``solver``, ``seed``, ...) configure the
+        run; anything else must be an extra option of the chosen variant
+        (e.g. ``alpha`` for ``symmetric``, ``l1`` for ``regularized``,
+        ``window`` for ``streaming``).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> A = np.abs(np.random.default_rng(3).standard_normal((48, 36)))
+    >>> res = fit(A, 4, variant="naive", n_ranks=3, max_iters=5)
+    >>> res.variant, res.n_ranks, res.backend
+    ('naive', 3, 'thread')
+    >>> fit(A, 4, variant="regularized", l1=0.5, max_iters=5).variant
+    'regularized'
+    """
+    config_options = {key: val for key, val in options.items() if key in _CONFIG_FIELDS}
+    extras = {key: val for key, val in options.items() if key not in _CONFIG_FIELDS}
+
+    # ``algorithm=`` is the legacy spelling of ``variant=`` (and an NMFConfig
+    # field, so it would otherwise slip through the unknown-option check and
+    # be silently overwritten by the chosen variant).  Honour it, loudly.
+    legacy_algorithm = config_options.pop("algorithm", None)
+    if legacy_algorithm is not None:
+        warnings.warn(
+            "fit(algorithm=...) is deprecated; pass variant=... instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        legacy_name = getattr(legacy_algorithm, "value", legacy_algorithm)
+        if variant is None:
+            variant = legacy_name
+        elif getattr(variant, "value", variant) != legacy_name:
+            raise TypeError(
+                f"conflicting selections: variant={variant!r} vs "
+                f"algorithm={legacy_name!r}; pass variant= only"
+            )
+
+    if variant is None:
+        ranks = n_ranks
+        if ranks is None:
+            ranks = config.n_ranks if config is not None else 1
+        variant = "hpc2d" if ranks > 1 else "sequential"
+    variant_obj = get_variant(getattr(variant, "value", variant))
+
+    unknown = sorted(set(extras) - set(variant_obj.extra_options()))
+    if unknown:
+        accepted = sorted(variant_obj.extra_options())
+        raise TypeError(
+            f"variant {variant_obj.name!r} does not accept option(s) {unknown}; "
+            f"beyond the NMFConfig fields it accepts {accepted or 'no extra options'}"
+        )
+
+    cfg = _build_config(k, config, **config_options)
+    if n_ranks is not None:
+        cfg = cfg.with_options(n_ranks=n_ranks)
+    if grid is not None:
+        cfg = cfg.with_options(grid=grid)
+    if backend is not None:
+        cfg = cfg.with_options(backend=backend)
+
+    if cfg.n_ranks > 1 and not variant_obj.parallelizable:
+        parallel = [v for v in available_variants() if get_variant(v).parallelizable]
+        raise ShapeError(
+            f"variant {variant_obj.name!r} is sequential-only and cannot run on "
+            f"n_ranks={cfg.n_ranks}; parallelizable variants: {parallel}"
+        )
+    if is_sparse(A) and not variant_obj.sparse_ok:
+        raise ShapeError(
+            f"variant {variant_obj.name!r} does not accept scipy sparse input"
+        )
+
+    return variant_obj.run(A, cfg, observers=observers, **extras)
+
+
+class NMF:
+    """Estimator-style front door: configure once, fit many matrices.
+
+    Mirrors the scikit-learn convention: ``fit`` stores the fitted factors
+    on the instance (``W_``, ``H_``, full ``result_``) and returns ``self``;
+    ``fit_transform`` returns ``W``; ``transform`` projects *new* data onto
+    the fitted basis with one NLS solve.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> A = np.abs(np.random.default_rng(0).standard_normal((30, 20)))
+    >>> model = NMF(k=4, variant="sequential", max_iters=5, seed=0).fit(A)
+    >>> model.W_.shape, model.components_.shape
+    ((30, 4), (4, 20))
+    >>> model.result_.variant
+    'sequential'
+    """
+
+    def __init__(
+        self,
+        k: Optional[int] = None,
+        *,
+        variant: Optional[str] = None,
+        n_ranks: Optional[int] = None,
+        grid: Optional[Tuple[int, int]] = None,
+        backend: Optional[str] = None,
+        config: Optional[NMFConfig] = None,
+        observers: Sequence[IterationObserver] = (),
+        **options,
+    ):
+        self.k = k
+        self.variant = variant
+        self.n_ranks = n_ranks
+        self.grid = grid
+        self.backend = backend
+        self.config = config
+        self.observers = tuple(observers)
+        self.options = dict(options)
+        self.result_: Optional[NMFResult] = None
+
+    def fit(self, A, observers: Sequence[IterationObserver] = ()) -> "NMF":
+        """Factorize ``A``; stores ``result_``/``W_``/``H_`` and returns ``self``."""
+        self.result_ = fit(
+            A,
+            self.k,
+            variant=self.variant,
+            n_ranks=self.n_ranks,
+            grid=self.grid,
+            backend=self.backend,
+            config=self.config,
+            observers=(*self.observers, *observers),
+            **self.options,
+        )
+        return self
+
+    def fit_transform(self, A) -> np.ndarray:
+        """Factorize ``A`` and return the left factor ``W``."""
+        return self.fit(A).W_
+
+    def transform(self, A) -> np.ndarray:
+        """Coefficients of (possibly new) columns under the fitted basis ``W_``.
+
+        Solves ``min_{H >= 0} ||A - W_ H||`` with the configured NLS solver;
+        ``A`` must have the same number of rows the model was fitted on.
+        """
+        result = self._fitted()
+        W = result.W
+        if A.shape[0] != W.shape[0]:
+            raise ShapeError(
+                f"transform expects {W.shape[0]} rows (the fitted basis), got {A.shape[0]}"
+            )
+        solver = result.config.make_solver()
+        gram_w = W.T @ W
+        rhs = W.T @ A
+        rhs = np.asarray(rhs)  # sparse A yields a matrix; solvers want ndarray
+        return solver.solve(gram_w, rhs)
+
+    @property
+    def W_(self) -> np.ndarray:
+        return self._fitted().W
+
+    @property
+    def H_(self) -> np.ndarray:
+        return self._fitted().H
+
+    @property
+    def components_(self) -> np.ndarray:
+        """The right factor ``H`` under its scikit-learn name."""
+        return self._fitted().H
+
+    def _fitted(self) -> NMFResult:
+        if self.result_ is None:
+            raise ShapeError("this NMF instance is not fitted yet; call fit(A) first")
+        return self.result_
+
+    def __repr__(self) -> str:
+        variant = self.variant or "auto"
+        return f"NMF(k={self.k}, variant={variant!r})"
+
+
+# ---------------------------------------------------------------------------
+# deprecation shims (the pre-registry entry points)
+# ---------------------------------------------------------------------------
 
 def nmf(
     A,
@@ -41,17 +296,11 @@ def nmf(
     config: Optional[NMFConfig] = None,
     **options,
 ) -> NMFResult:
-    """Compute a rank-``k`` NMF of ``A`` with the sequential ANLS algorithm.
+    """Sequential rank-``k`` NMF of ``A`` (Algorithm 1).
 
-    Parameters
-    ----------
-    A:
-        Nonnegative ``m × n`` matrix (dense ndarray or scipy sparse).
-    k:
-        Target rank.
-    config:
-        Full :class:`NMFConfig`; keyword ``options`` override individual
-        fields (``max_iters``, ``tol``, ``solver``, ``seed``, ...).
+    .. deprecated::
+        Thin shim over ``fit(A, k, variant="sequential", ...)``; prefer
+        :func:`fit`.
 
     Examples
     --------
@@ -64,8 +313,12 @@ def nmf(
     >>> res.relative_error < 1.0
     True
     """
-    cfg = _build_config(k, config, **options)
-    return anls_nmf(A, cfg)
+    warnings.warn(
+        "nmf() is deprecated; use repro.fit(A, k) (variant='sequential' is the default)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return fit(A, k, variant="sequential", config=config, **options)
 
 
 def parallel_nmf(
@@ -79,34 +332,14 @@ def parallel_nmf(
     config: Optional[NMFConfig] = None,
     **options,
 ) -> NMFResult:
-    """Compute a rank-``k`` NMF with one of the parallel algorithms.
+    """Rank-``k`` NMF with one of the parallel algorithms.
 
-    Runs ``n_ranks`` SPMD ranks on the selected execution backend, each
-    owning only its block of ``A`` and of the factors, exactly as the MPI
-    implementation in the paper would, then assembles and returns the global
-    factors.
-
-    Parameters
-    ----------
-    A:
-        Nonnegative global matrix (each rank slices out its own block).
-    k:
-        Target rank.
-    n_ranks:
-        Number of SPMD ranks ``p``.
-    algorithm:
-        ``"naive"`` (Algorithm 2), ``"hpc1d"`` or ``"hpc2d"`` (Algorithm 3
-        with a 1D / auto-selected 2D grid), or ``"sequential"`` to fall back
-        to :func:`nmf` (ignoring ``n_ranks``).
-    grid:
-        Explicit ``(pr, pc)`` grid for the HPC variants (must multiply to
-        ``n_ranks``).
-    backend:
-        Execution backend registry name; overrides ``config.backend``.
-        ``"thread"`` (default) runs one thread per rank; ``"lockstep"`` runs
-        ranks one at a time in rank order — deterministic and able to
-        simulate hundreds of ranks (``parallel_nmf(A, k, 256,
-        backend="lockstep")`` never has more than one rank running).
+    .. deprecated::
+        Thin shim over ``fit(A, k, variant=..., n_ranks=...)``; prefer
+        :func:`fit`.  The ``algorithm`` names coincide with the variant
+        registry names, and the legacy quirk of silently ignoring
+        ``n_ranks`` for ``algorithm="sequential"`` is preserved here —
+        :func:`fit` itself rejects that combination.
 
     Examples
     --------
@@ -116,25 +349,23 @@ def parallel_nmf(
     >>> res.n_ranks, res.grid_shape
     (4, (2, 2))
     """
-    A = check_matrix(A, "A")
-    check_nonnegative(A, "A")
-    m, n = A.shape
-    check_rank(k, m, n)
-    algorithm = Algorithm(algorithm)
-
+    warnings.warn(
+        "parallel_nmf() is deprecated; use repro.fit(A, k, variant=..., n_ranks=...)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     if n_ranks < 1:
         raise ShapeError(f"n_ranks must be >= 1, got {n_ranks}")
-
-    cfg = _build_config(k, config, **options).with_options(algorithm=algorithm, grid=grid)
-    if backend is not None:
-        cfg = cfg.with_options(backend=backend)
-
-    if algorithm == Algorithm.SEQUENTIAL:
-        return anls_nmf(A, cfg)
-    if algorithm == Algorithm.NAIVE:
-        per_rank = run_spmd(
-            n_ranks, naive_parallel_nmf, A, cfg, name="naive-nmf", backend=cfg.backend
-        )
-        return assemble_naive_result(per_rank, cfg)
-    per_rank = run_spmd(n_ranks, hpc_nmf, A, cfg, name="hpc-nmf", backend=cfg.backend)
-    return assemble_hpc_result(per_rank, cfg)
+    name = Algorithm(algorithm).value
+    if name == Algorithm.SEQUENTIAL.value:
+        return fit(A, k, variant="sequential", config=config, **options)
+    return fit(
+        A,
+        k,
+        variant=name,
+        n_ranks=n_ranks,
+        grid=grid,
+        backend=backend,
+        config=config,
+        **options,
+    )

@@ -16,7 +16,15 @@ from repro.util.errors import ShapeError
 
 
 class Algorithm(str, enum.Enum):
-    """Which parallel algorithm to run."""
+    """Which parallel algorithm to run.
+
+    .. deprecated::
+        New code selects algorithms by **variant registry name** through
+        :func:`repro.fit` (see :mod:`repro.core.variants`); this enum survives
+        for backward compatibility and as the internal grid-selection switch
+        of the HPC family (its values coincide with the registry names of the
+        Algorithm 1/2/3 variants).
+    """
 
     SEQUENTIAL = "sequential"  # Algorithm 1 (reference)
     NAIVE = "naive"            # Algorithm 2
@@ -46,6 +54,11 @@ class NMFConfig:
         algorithms so they perform the same computations).
     algorithm:
         Which variant to run (sequential / naive / hpc1d / hpc2d).
+        Deprecated in favour of the variant registry (:func:`repro.fit`);
+        kept so existing configs keep working.
+    n_ranks:
+        Number of SPMD ranks ``p`` for the parallel variants (``1`` runs a
+        single-rank SPMD world; sequential variants ignore it).
     grid:
         Explicit ``(pr, pc)`` processor grid for HPC-NMF; ``None`` applies the
         paper's grid-selection rule.
@@ -69,6 +82,7 @@ class NMFConfig:
     solver: str = "bpp"
     seed: int = 42
     algorithm: Algorithm = Algorithm.HPC_2D
+    n_ranks: int = 1
     grid: Optional[Tuple[int, int]] = None
     compute_error: bool = True
     inner_iters: int = 1
@@ -83,6 +97,8 @@ class NMFConfig:
             raise ShapeError(f"tol must be >= 0, got {self.tol}")
         if self.inner_iters < 1:
             raise ShapeError(f"inner_iters must be >= 1, got {self.inner_iters}")
+        if self.n_ranks < 1:
+            raise ShapeError(f"n_ranks must be >= 1, got {self.n_ranks}")
         if not isinstance(self.backend, str) or not self.backend:
             raise ShapeError(
                 f"backend must be a backend registry name, got {self.backend!r}"

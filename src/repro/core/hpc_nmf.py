@@ -32,7 +32,7 @@ The 1D variant the paper benchmarks ("HPC-NMF-1D") is simply the grid
 from __future__ import annotations
 
 import time
-from typing import Callable, Optional, Tuple
+from typing import Callable, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -44,7 +44,8 @@ from repro.core.config import Algorithm, NMFConfig
 from repro.core.initialization import init_h_slice
 from repro.core.local_ops import gram, local_cross_term, matmul_a_ht, matmul_wt_a
 from repro.core.objective import objective_from_grams
-from repro.core.result import IterationStats, NMFResult
+from repro.core.observers import IterationObserver, LoopControl
+from repro.core.result import NMFResult
 from repro.dist.distmatrix import DistMatrix2D
 from repro.dist.factors import DistributedFactorH, DistributedFactorW
 from repro.dist.partition import block_counts
@@ -75,6 +76,7 @@ def hpc_nmf(
     config: NMFConfig,
     block_generator: Optional[Callable] = None,
     global_shape: Optional[Tuple[int, int]] = None,
+    observers: Optional[Sequence[IterationObserver]] = None,
 ) -> dict:
     """SPMD per-rank program for Algorithm 3.
 
@@ -93,6 +95,9 @@ def hpc_nmf(
         Optional ``generator(row_range, col_range, rank) -> block`` callable.
     global_shape:
         ``(m, n)``; required when ``A`` is ``None``.
+    observers:
+        Iteration observers, notified on rank 0 (see
+        :mod:`repro.core.observers` for the SPMD dispatch rules).
 
     Returns
     -------
@@ -161,10 +166,8 @@ def hpc_nmf(
     aht_buf = ws.get("aht_block", (w_sub_rows, k))
     wta_buf = ws.get("wta_block", (k, h_sub_cols))
 
-    history: list[IterationStats] = []
-    converged = False
-    previous_error = np.inf
-    iterations_run = 0
+    variant_name = "hpc1d" if config.algorithm == Algorithm.HPC_1D else "hpc2d"
+    control = LoopControl(config, observers, comm=comm, variant=variant_name).start()
 
     for iteration in range(config.max_iters):
         iter_start = time.perf_counter()
@@ -206,8 +209,7 @@ def hpc_nmf(
         with profiler.task(TaskCategory.NLS):
             H_fac.local = solver.solve(gram_w, wta_block, x0=H_fac.local)  # line 14
 
-        iterations_run = iteration + 1
-
+        objective = rel_error = float("nan")
         if config.compute_error:
             cross = comm.allreduce_scalar(local_cross_term(wta_block, H_fac.local))
             with profiler.task(TaskCategory.ALL_REDUCE):
@@ -216,18 +218,13 @@ def hpc_nmf(
                 )
             objective = objective_from_grams(norm_a_sq, cross, gram_w, gram_h_new)
             rel_error = float(np.sqrt(objective / norm_a_sq)) if norm_a_sq > 0 else 0.0
-            history.append(
-                IterationStats(
-                    iteration=iteration,
-                    objective=objective,
-                    relative_error=rel_error,
-                    seconds=time.perf_counter() - iter_start,
-                )
-            )
-            if config.tol > 0 and previous_error - rel_error < config.tol:
-                converged = True
-                break
-            previous_error = rel_error
+        if control.record(
+            iteration,
+            objective=objective,
+            relative_error=rel_error,
+            seconds=time.perf_counter() - iter_start,
+        ):
+            break
 
     return {
         "rank": comm.rank,
@@ -237,11 +234,11 @@ def hpc_nmf(
         "H_local": H_fac.local,
         "w_range": W_fac.global_range,
         "h_range": H_fac.global_range,
-        "history": history,
+        "history": control.history,
         "breakdown": profiler.snapshot(),
         "ledger": ledger,
-        "iterations": iterations_run,
-        "converged": converged,
+        "iterations": control.iterations,
+        "converged": control.converged,
         "shape": (m, n),
     }
 
@@ -271,4 +268,6 @@ def assemble_hpc_result(per_rank: list[dict], config: NMFConfig) -> NMFResult:
         n_ranks=len(per_rank),
         grid_shape=per_rank[0]["grid"],
         converged=per_rank[0]["converged"],
+        variant="hpc1d" if config.algorithm == Algorithm.HPC_1D else "hpc2d",
+        backend=config.backend,
     )

@@ -21,7 +21,7 @@ HPC-NMF improves to ``O(min{√(mnk²/p), nk})``.
 from __future__ import annotations
 
 import time
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -32,11 +32,17 @@ from repro.core.config import Algorithm, NMFConfig
 from repro.core.initialization import init_h_slice
 from repro.core.local_ops import gram, local_cross_term, matmul_a_ht, matmul_wt_a
 from repro.core.objective import objective_from_grams
-from repro.core.result import IterationStats, NMFResult
+from repro.core.observers import IterationObserver, LoopControl
+from repro.core.result import NMFResult
 from repro.dist.distmatrix import DoublePartitioned1D
 
 
-def naive_parallel_nmf(comm: Comm, A, config: NMFConfig) -> dict:
+def naive_parallel_nmf(
+    comm: Comm,
+    A,
+    config: NMFConfig,
+    observers: Optional[Sequence[IterationObserver]] = None,
+) -> dict:
     """SPMD per-rank program for Algorithm 2.
 
     Parameters
@@ -48,6 +54,9 @@ def naive_parallel_nmf(comm: Comm, A, config: NMFConfig) -> dict:
         only its own row and column blocks; nothing is communicated).
     config:
         Run options; ``config.solver`` selects the local NLS method.
+    observers:
+        Iteration observers, notified on rank 0 (see
+        :mod:`repro.core.observers` for the SPMD dispatch rules).
 
     Returns
     -------
@@ -81,10 +90,7 @@ def naive_parallel_nmf(comm: Comm, A, config: NMFConfig) -> dict:
     ledger = CostLedger()
     comm.attach_ledger(ledger)
 
-    history: list[IterationStats] = []
-    converged = False
-    previous_error = np.inf
-    iterations_run = 0
+    control = LoopControl(config, observers, comm=comm, variant="naive").start()
 
     # Reusable collective workspaces: the two factor all-gathers and the
     # error-path Gram all-reduce hit the same shapes every iteration, so
@@ -122,8 +128,7 @@ def naive_parallel_nmf(comm: Comm, A, config: NMFConfig) -> dict:
         with profiler.task(TaskCategory.NLS):
             H_local = solver.solve(gram_w, wt_a, x0=H_local)
 
-        iterations_run = iteration + 1
-
+        objective = rel_error = float("nan")
         if config.compute_error:
             # Gram trick with distributed pieces: cross term and H-Gram are
             # summed over ranks with small all-reduces.
@@ -134,18 +139,13 @@ def naive_parallel_nmf(comm: Comm, A, config: NMFConfig) -> dict:
                 )
             objective = objective_from_grams(norm_a_sq, cross, gram_w, gram_h_new)
             rel_error = float(np.sqrt(objective / norm_a_sq)) if norm_a_sq > 0 else 0.0
-            history.append(
-                IterationStats(
-                    iteration=iteration,
-                    objective=objective,
-                    relative_error=rel_error,
-                    seconds=time.perf_counter() - iter_start,
-                )
-            )
-            if config.tol > 0 and previous_error - rel_error < config.tol:
-                converged = True
-                break
-            previous_error = rel_error
+        if control.record(
+            iteration,
+            objective=objective,
+            relative_error=rel_error,
+            seconds=time.perf_counter() - iter_start,
+        ):
+            break
 
     return {
         "rank": rank,
@@ -153,11 +153,11 @@ def naive_parallel_nmf(comm: Comm, A, config: NMFConfig) -> dict:
         "H_local": H_local,
         "w_range": (row_lo, row_hi),
         "h_range": (col_lo, col_hi),
-        "history": history,
+        "history": control.history,
         "breakdown": profiler.snapshot(),
         "ledger": ledger,
-        "iterations": iterations_run,
-        "converged": converged,
+        "iterations": control.iterations,
+        "converged": control.converged,
         "shape": (m, n),
     }
 
@@ -187,4 +187,6 @@ def assemble_naive_result(per_rank: list[dict], config: NMFConfig) -> NMFResult:
         n_ranks=len(per_rank),
         grid_shape=(len(per_rank), 1),
         converged=per_rank[0]["converged"],
+        variant="naive",
+        backend=config.backend,
     )

@@ -25,14 +25,15 @@ to its local normal equations.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.config import NMFConfig
 from repro.core.local_ops import gram, matmul_a_ht, matmul_wt_a
 from repro.core.objective import frobenius_norm_squared, objective_from_grams
-from repro.core.result import IterationStats, NMFResult
+from repro.core.observers import IterationObserver, LoopControl
+from repro.core.result import NMFResult
 from repro.util.errors import ShapeError
 from repro.util.validation import check_matrix, check_nonnegative, check_rank
 from repro.core.initialization import init_h_global
@@ -100,12 +101,14 @@ def regularized_nmf(
     A,
     config: NMFConfig,
     regularization: Optional[Regularization] = None,
+    observers: Optional[Sequence[IterationObserver]] = None,
 ) -> NMFResult:
     """Sequential ANLS NMF with ridge and/or L1 regularization on both factors.
 
     With ``regularization=None`` (or all-zero weights) this reduces exactly to
     :func:`repro.core.anls.anls_nmf`'s iteration (same updates, same seed
-    handling), which the tests verify.
+    handling), which the tests verify.  ``observers`` follow the protocol of
+    :mod:`repro.core.observers`.
     """
     import time
 
@@ -120,10 +123,7 @@ def regularized_nmf(
     Wt = np.zeros((k, m))
     norm_a_sq = frobenius_norm_squared(A)
 
-    history: list[IterationStats] = []
-    converged = False
-    previous = np.inf
-    iterations_run = 0
+    control = LoopControl(config, observers, variant="regularized").start()
 
     for iteration in range(config.max_iters):
         start = time.perf_counter()
@@ -139,7 +139,7 @@ def regularized_nmf(
         g, r = regularize_gram_rhs(gram_w, wt_a, reg)
         H = solver.solve(g, r, x0=H)
 
-        iterations_run = iteration + 1
+        objective = rel = float("nan")
         if config.compute_error:
             cross = float(np.vdot(wt_a, H))
             gram_h_new = gram(H, transpose_first=False)
@@ -147,19 +147,22 @@ def regularized_nmf(
                 norm_a_sq, cross, gram_w, gram_h_new, W, H, reg
             )
             rel = float(np.sqrt(max(objective, 0.0) / norm_a_sq)) if norm_a_sq > 0 else 0.0
-            history.append(
-                IterationStats(iteration, objective, rel, time.perf_counter() - start)
-            )
-            if config.tol > 0 and previous - rel < config.tol:
-                converged = True
-                break
-            previous = rel
+        if control.record(
+            iteration,
+            objective=objective,
+            relative_error=rel,
+            seconds=time.perf_counter() - start,
+            factors=(W, H),
+        ):
+            break
 
-    return NMFResult(
+    result = NMFResult(
         W=np.ascontiguousarray(W),
         H=np.ascontiguousarray(H),
         config=config,
-        iterations=iterations_run,
-        history=history,
-        converged=converged,
+        iterations=control.iterations,
+        history=control.history,
+        converged=control.converged,
+        variant="regularized",
     )
+    return control.finish(result)

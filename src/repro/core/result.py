@@ -2,14 +2,19 @@
 
 :class:`NMFResult` carries everything the examples, tests and the experiment
 harness need: the factors, per-iteration objective values, the per-task time
-breakdown (the six categories of Figure 3) and the communication ledger of
-the run.
+breakdown (the six categories of Figure 3), the communication ledger of the
+run, and provenance (which registered **variant**, execution **backend** and
+NLS **solver** produced it).  Results round-trip to disk as ``.npz`` archives
+through :meth:`NMFResult.save` / :meth:`NMFResult.load`.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import json
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from pathlib import Path
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
@@ -53,6 +58,11 @@ class NMFResult:
     converged:
         True when the relative-error improvement dropped below ``config.tol``
         before ``max_iters`` (always False when ``tol == 0``).
+    variant, backend, solver:
+        Provenance: the registry name of the variant that produced this
+        result (see :mod:`repro.core.variants`), the execution backend it ran
+        on (``None`` for in-process sequential variants) and the local NLS
+        solver it used.  Filled from ``config`` when not set explicitly.
     """
 
     W: np.ndarray
@@ -65,6 +75,17 @@ class NMFResult:
     n_ranks: int = 1
     grid_shape: Optional[tuple] = None
     converged: bool = False
+    variant: str = ""
+    backend: Optional[str] = None
+    solver: str = ""
+
+    def __post_init__(self):
+        if not self.variant:
+            self.variant = self.config.algorithm.value
+        if not self.solver:
+            self.solver = self.config.solver
+        if self.backend is None and self.n_ranks > 1:
+            self.backend = self.config.backend
 
     @property
     def objective(self) -> float:
@@ -98,8 +119,8 @@ class NMFResult:
     def summary(self) -> str:
         """Human-readable one-paragraph summary (used by the examples)."""
         lines = [
-            f"NMF result: rank k={self.config.k}, algorithm={self.config.algorithm.value}, "
-            f"solver={self.config.solver}",
+            f"NMF result: rank k={self.config.k}, variant={self.variant}, "
+            f"solver={self.solver}",
             f"  factors: W {self.W.shape}, H {self.H.shape}",
             f"  iterations: {self.iterations} (converged={self.converged})",
         ]
@@ -112,6 +133,7 @@ class NMFResult:
             lines.append(
                 f"  ranks: {self.n_ranks}"
                 + (f", grid {self.grid_shape[0]}x{self.grid_shape[1]}" if self.grid_shape else "")
+                + (f", backend {self.backend}" if self.backend else "")
             )
         total = self.breakdown.total
         if total > 0:
@@ -121,3 +143,98 @@ class NMFResult:
             )
             lines.append(f"  time breakdown: total={total:.3f}s ({parts})")
         return "\n".join(lines)
+
+    # -- serialisation -------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Plain-Python representation (factors stay ndarrays; rest is JSON-able).
+
+        Subclass dataclass fields (e.g. ``SymNMFResult.alpha``) are included
+        automatically, so variant-specific results round-trip without
+        overriding this method.
+        """
+        config = dataclasses.asdict(self.config)
+        config["algorithm"] = self.config.algorithm.value
+        config["grid"] = list(self.config.grid) if self.config.grid else None
+        payload = {
+            "W": self.W,
+            "H": self.H,
+            "config": config,
+            "iterations": self.iterations,
+            "history": [dataclasses.asdict(s) for s in self.history],
+            "breakdown": self.breakdown.as_dict(),
+            "ledger_summary": self.ledger_summary,
+            "n_ranks": self.n_ranks,
+            "grid_shape": list(self.grid_shape) if self.grid_shape else None,
+            "converged": self.converged,
+            "variant": self.variant,
+            "backend": self.backend,
+            "solver": self.solver,
+        }
+        base_fields = {f.name for f in dataclasses.fields(NMFResult)}
+        for extra in dataclasses.fields(self):
+            if extra.name not in base_fields:
+                payload[extra.name] = getattr(self, extra.name)
+        return payload
+
+    def save(self, path: Union[str, Path]) -> Path:
+        """Write the result to ``path`` as a ``.npz`` archive.
+
+        The factors are stored as arrays; everything else (config, history,
+        breakdown, ledger, provenance) is stored as one JSON metadata string,
+        so :meth:`load` reconstructs the full result without pickling.
+        """
+        payload = self.to_dict()
+        meta = json.dumps({k: v for k, v in payload.items() if k not in ("W", "H")})
+        path = Path(path)
+        np.savez_compressed(path, W=self.W, H=self.H, meta=np.asarray(meta))
+        # np.savez appends .npz when missing; report the real on-disk path.
+        return path if path.suffix == ".npz" else path.with_name(path.name + ".npz")
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "NMFResult":
+        """Reconstruct a result saved by :meth:`save`.
+
+        Loading through the base class dispatches on the recorded variant's
+        registered ``result_class`` (see :mod:`repro.core.variants`), so a
+        saved symmetric run comes back as the
+        :class:`~repro.core.symmetric.SymNMFResult` subclass — and so do any
+        third-party variants that register their own result class.  Results
+        of unregistered variants load as plain :class:`NMFResult`.
+        """
+        with np.load(Path(path), allow_pickle=False) as data:
+            W = np.array(data["W"])
+            H = np.array(data["H"])
+            meta = json.loads(str(data["meta"]))
+        config_dict = dict(meta["config"])
+        grid = config_dict.get("grid")
+        config_dict["grid"] = tuple(grid) if grid else None
+        if cls is NMFResult and meta.get("variant"):
+            from repro.core.variants import get_variant
+
+            try:
+                cls = get_variant(meta["variant"]).result_class
+            except KeyError:
+                pass  # saved by an unregistered variant: keep the base class
+        base_fields = {f.name for f in dataclasses.fields(NMFResult)}
+        extra = {
+            f.name: meta[f.name]
+            for f in dataclasses.fields(cls)
+            if f.name not in base_fields and f.name in meta
+        }
+        grid_shape = meta.get("grid_shape")
+        return cls(
+            W=W,
+            H=H,
+            config=NMFConfig(**config_dict),
+            iterations=meta["iterations"],
+            history=[IterationStats(**s) for s in meta["history"]],
+            breakdown=TimeBreakdown.from_parts(**meta["breakdown"]),
+            ledger_summary=meta.get("ledger_summary", {}),
+            n_ranks=meta["n_ranks"],
+            grid_shape=tuple(grid_shape) if grid_shape else None,
+            converged=meta["converged"],
+            variant=meta.get("variant", ""),
+            backend=meta.get("backend"),
+            solver=meta.get("solver", ""),
+            **extra,
+        )

@@ -21,26 +21,39 @@ so the same local solvers (and, unchanged, the same parallel framework) apply.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
 from repro.core.config import NMFConfig
 from repro.core.local_ops import gram, matmul_a_ht, matmul_wt_a
 from repro.core.initialization import init_h_global
+from repro.core.objective import frobenius_norm_squared
+from repro.core.observers import IterationObserver, LoopControl
+from repro.core.result import NMFResult
 from repro.util.errors import ShapeError
 from repro.util.validation import check_matrix, check_nonnegative, check_rank, is_sparse
 
 
 @dataclass
-class SymNMFResult:
-    """Result of a symmetric NMF run."""
+class SymNMFResult(NMFResult):
+    """Result of a symmetric NMF run: an :class:`NMFResult` with ``H = Gᵀ``.
 
-    G: np.ndarray                  # n × k soft cluster indicator matrix
-    objective_history: list        # penalized objective per iteration
-    iterations: int
-    alpha: float
+    The factors satisfy ``W = G`` and ``H = Gᵀ``, so ``reconstruction()`` is
+    the symmetric model ``G Gᵀ``; :attr:`G`, :attr:`labels` and
+    :meth:`cluster_sizes` expose the clustering view.  The per-iteration
+    ``history`` records the penalized objective, so the legacy
+    ``objective_history`` accessor keeps working through the base class.
+    """
+
+    alpha: float = 0.0
+
+    @property
+    def G(self) -> np.ndarray:
+        """The ``n × k`` soft cluster indicator matrix (alias of ``W``)."""
+        return self.W
 
     @property
     def labels(self) -> np.ndarray:
@@ -59,6 +72,8 @@ def symmetric_nmf(
     max_iters: int = 50,
     solver: str = "bpp",
     seed: int = 0,
+    observers: Optional[Sequence[IterationObserver]] = None,
+    config: Optional[NMFConfig] = None,
 ) -> SymNMFResult:
     """Compute a rank-``k`` symmetric NMF of a similarity/adjacency matrix ``S``.
 
@@ -75,6 +90,14 @@ def symmetric_nmf(
         the SymNMF literature).
     max_iters, solver, seed:
         As for ordinary NMF.
+    observers:
+        Iteration observers (see :mod:`repro.core.observers`); events carry
+        the penalized objective and the relative residual of ``S ≈ G Gᵀ``.
+    config:
+        Full :class:`NMFConfig`; when given it supersedes
+        ``max_iters``/``solver``/``seed`` and its ``tol``, ``compute_error``
+        and ``inner_iters`` fields are honoured too (``fit(variant=
+        "symmetric")`` passes the run's config through this path).
 
     Returns
     -------
@@ -96,15 +119,24 @@ def symmetric_nmf(
     if alpha < 0:
         raise ShapeError(f"alpha must be nonnegative, got {alpha}")
 
-    config = NMFConfig(k=k, max_iters=max_iters, solver=solver, seed=seed)
+    if config is None:
+        config = NMFConfig(k=k, max_iters=max_iters, solver=solver, seed=seed)
+    elif config.k != k:
+        raise ShapeError(
+            f"rank mismatch: symmetric_nmf called with k={k} but config.k={config.k}"
+        )
     nls = config.make_solver()
 
-    H = init_h_global(k, n1, seed)          # k × n
+    H = init_h_global(k, n1, config.seed)   # k × n
     W = H.T.copy()                           # n × k, start symmetric
     eye = np.eye(k)
+    norm_s_sq = frobenius_norm_squared(S)
 
-    history = []
-    for _ in range(max_iters):
+    control = LoopControl(config, observers, variant="symmetric").start()
+
+    for iteration in range(config.max_iters):
+        iter_start = time.perf_counter()
+
         # W-step: min ||S - W H||² + alpha ||W - Hᵀ||².
         gram_h = gram(H, transpose_first=False) + alpha * eye
         rhs_w = (matmul_a_ht(S, H.T) + alpha * H.T).T          # k × n
@@ -116,12 +148,33 @@ def symmetric_nmf(
         H = nls.solve(gram_w, rhs_h, x0=H)
 
         G = 0.5 * (W + H.T)
-        residual = _symnmf_objective(S, G)
-        asymmetry = float(np.linalg.norm(W - H.T))
-        history.append(residual + alpha * asymmetry**2)
+        objective = rel_error = float("nan")
+        if config.compute_error:
+            residual = _symnmf_objective(S, G)
+            asymmetry = float(np.linalg.norm(W - H.T))
+            objective = residual + alpha * asymmetry**2
+            rel_error = float(np.sqrt(residual / norm_s_sq)) if norm_s_sq > 0 else 0.0
+        if control.record(
+            iteration,
+            objective=objective,
+            relative_error=rel_error,
+            seconds=time.perf_counter() - iter_start,
+            factors=(G, G.T),
+        ):
+            break
 
     G = 0.5 * (W + H.T)
-    return SymNMFResult(G=G, objective_history=history, iterations=max_iters, alpha=alpha)
+    result = SymNMFResult(
+        W=np.ascontiguousarray(G),
+        H=np.ascontiguousarray(G.T),
+        config=config,
+        iterations=control.iterations,
+        history=control.history,
+        converged=control.converged,
+        variant="symmetric",
+        alpha=alpha,
+    )
+    return control.finish(result)
 
 
 def _symnmf_objective(S, G: np.ndarray) -> float:

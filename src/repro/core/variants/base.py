@@ -1,0 +1,149 @@
+"""The :class:`Variant` descriptor and the variant registry.
+
+A *variant* is one NMF flavor behind the :func:`repro.fit` front door:
+Algorithm 1 (``sequential``), Algorithm 2 (``naive``), Algorithm 3 on a 1D or
+2D grid (``hpc1d`` / ``hpc2d``), and the paper-motivated extensions
+(``symmetric``, ``regularized``, ``streaming``).  The registry mirrors the
+solver registry (:mod:`repro.nls.base`) and the backend registry
+(:mod:`repro.comm.backends`): adding a variant is one registered module —
+no dispatch table anywhere else needs editing, and the CLI's ``--variant``
+choices and ``repro variants`` listing update themselves.
+
+Each variant declares **capability flags** the front door enforces or
+surfaces:
+
+``parallelizable``
+    Runs as an SPMD program on ``config.n_ranks`` ranks of an execution
+    backend; non-parallelizable variants reject ``n_ranks > 1``.
+``sparse_ok``
+    Accepts ``scipy.sparse`` input.
+``symmetric_input``
+    Interprets the input as a square similarity/adjacency matrix (and adapts
+    rectangular input rather than factorizing it directly).
+``supports_regularization``
+    Accepts factor-regularization options (ridge / L1).
+
+and implements one uniform entry point::
+
+    run(A, config, observers=(), **variant_options) -> NMFResult
+"""
+
+from __future__ import annotations
+
+import abc
+import inspect
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.config import NMFConfig
+from repro.core.observers import IterationObserver
+from repro.core.result import NMFResult
+
+
+class Variant(abc.ABC):
+    """Descriptor + entry point of one registered NMF flavor."""
+
+    #: registry name; subclasses override
+    name: str = "abstract"
+    #: one-line description shown by ``repro variants``
+    summary: str = ""
+    #: the NMFResult (sub)class this variant produces; NMFResult.load() uses
+    #: it to round-trip saved results without per-variant special cases.
+    result_class = NMFResult
+    # capability flags
+    parallelizable: bool = False
+    sparse_ok: bool = True
+    symmetric_input: bool = False
+    supports_regularization: bool = False
+
+    @abc.abstractmethod
+    def run(
+        self,
+        A,
+        config: NMFConfig,
+        observers: Optional[Sequence[IterationObserver]] = (),
+        **options,
+    ) -> NMFResult:
+        """Execute this variant on ``A`` under ``config``.
+
+        ``observers`` follow the protocol of :mod:`repro.core.observers`;
+        ``options`` are this variant's extra knobs (see
+        :meth:`extra_options`).  Returns a provenance-stamped
+        :class:`~repro.core.result.NMFResult`.
+        """
+
+    def capabilities(self) -> Dict[str, bool]:
+        """The four capability flags as a dict (used by the CLI listing)."""
+        return {
+            "parallelizable": self.parallelizable,
+            "sparse_ok": self.sparse_ok,
+            "symmetric_input": self.symmetric_input,
+            "supports_regularization": self.supports_regularization,
+        }
+
+    def extra_options(self) -> tuple:
+        """Names of the variant-specific keyword options ``run`` accepts.
+
+        Derived from the ``run`` signature, so the front door can tell a
+        mistyped config field from a legitimate variant knob without any
+        per-variant table.
+        """
+        parameters = inspect.signature(self.run).parameters
+        skip = {"A", "config", "observers"}
+        return tuple(
+            name
+            for name, param in parameters.items()
+            if name not in skip and param.default is not inspect.Parameter.empty
+        )
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+_REGISTRY: Dict[str, Variant] = {}
+
+
+def register_variant(cls):
+    """Class decorator adding a variant (as a singleton) to the registry."""
+    if not (isinstance(cls, type) and issubclass(cls, Variant)):
+        raise TypeError(f"register_variant expects a Variant subclass, got {cls!r}")
+    _REGISTRY[cls.name] = cls()
+    return cls
+
+
+def available_variants() -> List[str]:
+    """Names accepted by :func:`get_variant` (and by ``repro.fit(variant=...)``).
+
+    >>> available_variants()
+    ['hpc1d', 'hpc2d', 'naive', 'regularized', 'sequential', 'streaming', 'symmetric']
+    """
+    _ensure_builtin_variants()
+    return sorted(_REGISTRY)
+
+
+def get_variant(name: str) -> Variant:
+    """Look up a registered variant by name.
+
+    >>> get_variant("hpc2d").parallelizable
+    True
+    >>> get_variant("symmetric").symmetric_input
+    True
+    """
+    _ensure_builtin_variants()
+    try:
+        return _REGISTRY[str(name).lower()]
+    except KeyError:
+        raise KeyError(
+            f"unknown variant {name!r}; available variants: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def _ensure_builtin_variants() -> None:
+    """Import the built-in variant modules so they self-register."""
+    # Deferred so `import repro.core.variants.base` alone stays cycle-free.
+    from repro.core.variants import (  # noqa: F401
+        parallel,
+        regularized,
+        sequential,
+        streaming,
+        symmetric,
+    )

@@ -1,0 +1,93 @@
+"""The SPMD variants: Algorithm 2 (``naive``) and Algorithm 3 (``hpc1d``/``hpc2d``).
+
+Each run launches ``config.n_ranks`` ranks of the configured execution
+backend (``config.backend``; see :mod:`repro.comm.backends`), executes the
+per-rank program from :mod:`repro.core.naive` / :mod:`repro.core.hpc_nmf`,
+and assembles the per-rank factor blocks into one global
+:class:`~repro.core.result.NMFResult`.
+"""
+
+from __future__ import annotations
+
+from repro.comm.backends import run_spmd
+from repro.core.config import Algorithm, NMFConfig
+from repro.core.hpc_nmf import assemble_hpc_result, hpc_nmf
+from repro.core.naive import assemble_naive_result, naive_parallel_nmf
+from repro.core.observers import notify_finish
+from repro.core.result import NMFResult
+from repro.core.variants.base import Variant, register_variant
+from repro.util.validation import check_matrix, check_nonnegative, check_rank
+
+
+class _SPMDVariant(Variant):
+    """Shared validation + launch scaffolding of the SPMD variants."""
+
+    parallelizable = True
+    sparse_ok = True
+
+    def _validate(self, A, config: NMFConfig):
+        A = check_matrix(A, "A")
+        check_nonnegative(A, "A")
+        m, n = A.shape
+        check_rank(config.k, m, n)
+        return A
+
+
+@register_variant
+class NaiveVariant(_SPMDVariant):
+    """Algorithm 2: all-gathers whole factor matrices every iteration."""
+
+    name = "naive"
+    summary = "Algorithm 2: Naive-Parallel-NMF baseline ((m+n)k words/iter)"
+
+    def run(self, A, config: NMFConfig, observers=()) -> NMFResult:
+        A = self._validate(A, config)
+        cfg = config.with_options(algorithm=Algorithm.NAIVE)
+        per_rank = run_spmd(
+            cfg.n_ranks,
+            naive_parallel_nmf,
+            A,
+            cfg,
+            name="naive-nmf",
+            backend=cfg.backend,
+            observers=tuple(observers or ()),
+        )
+        return notify_finish(observers, assemble_naive_result(per_rank, cfg))
+
+
+class _HpcVariant(_SPMDVariant):
+    """Algorithm 3 scaffolding; subclasses pin the grid-selection mode."""
+
+    algorithm: Algorithm
+
+    def run(self, A, config: NMFConfig, observers=()) -> NMFResult:
+        A = self._validate(A, config)
+        cfg = config.with_options(algorithm=self.algorithm)
+        per_rank = run_spmd(
+            cfg.n_ranks,
+            hpc_nmf,
+            A,
+            cfg,
+            name="hpc-nmf",
+            backend=cfg.backend,
+            observers=tuple(observers or ()),
+        )
+        return notify_finish(observers, assemble_hpc_result(per_rank, cfg))
+
+
+@register_variant
+class Hpc1DVariant(_HpcVariant):
+    """Algorithm 3 on the 1D grid ``pr = p, pc = 1`` (the paper's HPC-NMF-1D)."""
+
+    name = "hpc1d"
+    summary = "Algorithm 3 on a 1D grid (pr = p, pc = 1)"
+    algorithm = Algorithm.HPC_1D
+
+
+@register_variant
+class Hpc2DVariant(_HpcVariant):
+    """Algorithm 3 with the §5 grid-selection rule (the paper's contribution)."""
+
+    name = "hpc2d"
+    summary = "Algorithm 3: HPC-NMF on the §5-selected pr x pc grid"
+    algorithm = Algorithm.HPC_2D

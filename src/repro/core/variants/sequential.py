@@ -1,0 +1,22 @@
+"""The ``sequential`` variant: Algorithm 1, the ANLS correctness reference."""
+
+from __future__ import annotations
+
+from repro.core.anls import anls_nmf
+from repro.core.config import Algorithm, NMFConfig
+from repro.core.result import NMFResult
+from repro.core.variants.base import Variant, register_variant
+
+
+@register_variant
+class SequentialVariant(Variant):
+    """Single-process ANLS (the reference the parallel variants must match)."""
+
+    name = "sequential"
+    summary = "Algorithm 1: sequential ANLS reference"
+    parallelizable = False
+    sparse_ok = True
+
+    def run(self, A, config: NMFConfig, observers=()) -> NMFResult:
+        cfg = config.with_options(algorithm=Algorithm.SEQUENTIAL, n_ranks=1)
+        return anls_nmf(A, cfg, observers=observers)

@@ -1,0 +1,47 @@
+"""The ``symmetric`` variant: SymNMF for graph clustering (paper ref. [13])."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import NMFConfig
+from repro.core.result import NMFResult
+from repro.core.symmetric import SymNMFResult, symmetric_nmf
+from repro.core.variants.base import Variant, register_variant
+from repro.util.validation import check_matrix, check_nonnegative
+
+
+@register_variant
+class SymmetricVariant(Variant):
+    """Symmetric NMF ``S ≈ G Gᵀ`` via the penalized ANLS relaxation.
+
+    Square input is treated as a similarity/adjacency matrix (symmetrized as
+    ``(S + Sᵀ)/2``, the standard co-linkage similarity for directed graphs).
+    Rectangular ``m × n`` input is first reduced to the ``n × n`` column
+    co-occurrence similarity ``AᵀA`` — the bipartite-graph reading of a
+    word-document or pixel-frame matrix — so every registered dataset can run
+    through this variant.
+
+    Extra option: ``alpha`` (symmetry-penalty weight; ``None`` applies the
+    ``max(S)²`` heuristic from the SymNMF literature).
+    """
+
+    name = "symmetric"
+    summary = "Symmetric NMF (S = G G^T) for graph clustering"
+    result_class = SymNMFResult
+    parallelizable = False
+    sparse_ok = True
+    symmetric_input = True
+
+    def run(
+        self,
+        A,
+        config: NMFConfig,
+        observers=(),
+        alpha: Optional[float] = None,
+    ) -> NMFResult:
+        A = check_matrix(A, "A")
+        check_nonnegative(A, "A")
+        if A.shape[0] != A.shape[1]:
+            A = A.T @ A  # column co-occurrence similarity of the bipartite graph
+        return symmetric_nmf(A, config.k, alpha=alpha, observers=observers, config=config)

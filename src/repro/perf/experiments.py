@@ -23,8 +23,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.comm.profiler import TimeBreakdown
-from repro.core.api import parallel_nmf
-from repro.core.config import Algorithm
+from repro.core.api import fit
 from repro.data.registry import DatasetSpec, measured_scale, paper_scale
 from repro.perf.machine import MachineSpec, edison_machine
 from repro.perf.model import AlgorithmVariant, predicted_breakdown
@@ -42,13 +41,6 @@ PAPER_COMPARISON_CORES = 600
 MEASURED_RANKS = [4, 8, 12, 16]
 MEASURED_CORE_COUNTS = [1, 2, 4, 8]
 MEASURED_COMPARISON_RANKS = 4
-
-_VARIANT_TO_ALGORITHM = {
-    AlgorithmVariant.NAIVE: Algorithm.NAIVE,
-    AlgorithmVariant.HPC_1D: Algorithm.HPC_1D,
-    AlgorithmVariant.HPC_2D: Algorithm.HPC_2D,
-}
-
 
 @dataclass
 class ComparisonPoint:
@@ -104,14 +96,16 @@ def measured_breakdown(
     The error computation is disabled so the measured categories contain only
     the six tasks of the paper's breakdown.  ``backend`` selects the
     execution substrate (``"thread"`` for real overlap, ``"lockstep"`` for
-    deterministic runs and rank counts beyond the machine).
+    deterministic runs and rank counts beyond the machine).  The
+    :class:`AlgorithmVariant` values are variant-registry names, so the run
+    goes straight through :func:`repro.fit` — no dispatch table here.
     """
     A = spec.load()
-    result = parallel_nmf(
+    result = fit(
         A,
         k,
+        variant=AlgorithmVariant(variant).value,
         n_ranks=n_ranks,
-        algorithm=_VARIANT_TO_ALGORITHM[AlgorithmVariant(variant)],
         backend=backend,
         max_iters=iterations,
         compute_error=False,

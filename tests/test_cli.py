@@ -40,6 +40,33 @@ def test_factorize_missing_input_errors():
         main(["factorize", "definitely-not-a-dataset", "-k", "2"])
 
 
+def test_factorize_paper_dataset_alias(capsys):
+    assert main(["factorize", "Video", "-k", "2", "--variant", "sequential",
+                 "--iters", "2"]) == 0
+    assert "k=2" in capsys.readouterr().out
+
+
+def test_factorize_nonpositive_ranks_errors():
+    with pytest.raises(SystemExit, match="ranks"):
+        main(["factorize", "ssyn-small", "-k", "2", "--ranks", "0"])
+
+
+def test_factorize_sequential_variant_rejects_ranks():
+    with pytest.raises(SystemExit, match="sequential-only"):
+        main(["factorize", "ssyn-small", "-k", "2", "--ranks", "4",
+              "--variant", "sequential"])
+
+
+def test_variants_command_lists_registry(capsys):
+    from repro.core.variants import available_variants
+
+    assert main(["variants"]) == 0
+    out = capsys.readouterr().out
+    for name in available_variants():
+        assert name in out
+    assert "parallelizable" in out
+
+
 def test_experiment_comparison_modeled(capsys, tmp_path):
     csv_path = tmp_path / "fig.csv"
     code = main(["experiment", "comparison", "--dataset", "SSYN", "--csv", str(csv_path)])
