@@ -6,7 +6,6 @@ cell of the measured grid.
 """
 
 from repro.perf.experiments import table3_grid
-from repro.perf.model import AlgorithmVariant
 from repro.perf.report import render_table3
 from repro.data.registry import measured_scale
 from repro.perf.experiments import measured_breakdown
@@ -37,7 +36,7 @@ def test_table3_per_iteration_times(benchmark, write_artifact):
     spec = measured_scale("SSYN")
 
     def cell():
-        return measured_breakdown(spec, AlgorithmVariant.HPC_2D, k=8, n_ranks=4, iterations=1)
+        return measured_breakdown(spec, "hpc2d", k=8, n_ranks=4, iterations=1)
 
     breakdown = benchmark.pedantic(cell, rounds=1, iterations=1)
     assert breakdown.total > 0

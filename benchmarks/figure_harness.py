@@ -21,18 +21,18 @@ from typing import Callable, Optional, Sequence, Tuple
 
 from repro.core.variants import available_variants
 from repro.perf.experiments import (
+    PAPER_VARIANTS,
     ExperimentResult,
     comparison_vs_k,
     measured_breakdown,
     strong_scaling,
 )
-from repro.perf.model import AlgorithmVariant
 from repro.perf.report import render_breakdown_table, to_csv
 from repro.data.registry import measured_scale
 
 # The measured-mode runs go through repro.fit's variant registry; fail loudly
 # at import time if the benchmarked variants were ever unregistered.
-_missing = [v.value for v in AlgorithmVariant if v.value not in available_variants()]
+_missing = [v for v in PAPER_VARIANTS if v not in available_variants()]
 if _missing:  # pragma: no cover - registry regression guard
     raise RuntimeError(f"benchmarked variants missing from the registry: {_missing}")
 
@@ -48,7 +48,7 @@ def _resolve_backend(backend: Optional[str]) -> str:
 
 def _headline_speedups(result: ExperimentResult) -> str:
     lines = ["", "Naive / HPC-NMF-2D per-iteration speedups:"]
-    speedups = result.speedup(AlgorithmVariant.NAIVE, AlgorithmVariant.HPC_2D)
+    speedups = result.speedup("naive", "hpc2d")
     for (k, p), ratio in sorted(speedups.items()):
         lines.append(f"  k={k:>3}  p={p:>4}  speedup={ratio:5.2f}x")
     return "\n".join(lines)
@@ -95,7 +95,7 @@ def run_comparison_figure(
 
     def benchmark_target():
         return measured_breakdown(
-            spec, AlgorithmVariant.HPC_2D, k=max(measured_ks), n_ranks=measured_ranks,
+            spec, "hpc2d", k=max(measured_ks), n_ranks=measured_ranks,
             iterations=1, backend=backend,
         )
 
@@ -139,7 +139,7 @@ def run_scaling_figure(
     def benchmark_target():
         return measured_breakdown(
             spec,
-            AlgorithmVariant.HPC_2D,
+            "hpc2d",
             k=min(measured_k, 8),
             n_ranks=max(measured_rank_counts),
             iterations=1,

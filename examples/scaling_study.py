@@ -19,7 +19,6 @@ from __future__ import annotations
 import argparse
 
 from repro.perf.experiments import comparison_vs_k, strong_scaling, table3_grid
-from repro.perf.model import AlgorithmVariant
 from repro.perf.report import render_breakdown_table, render_table3
 
 DATASETS = ("DSYN", "SSYN", "Video", "Webbase")
@@ -32,7 +31,7 @@ def run_dataset(dataset: str, measured: bool) -> None:
 
     comparison = comparison_vs_k(dataset, mode="modeled")
     print(render_breakdown_table(comparison, x_axis="k"))
-    speedups = comparison.speedup(AlgorithmVariant.NAIVE, AlgorithmVariant.HPC_2D)
+    speedups = comparison.speedup("naive", "hpc2d")
     best = max(speedups.values())
     print(f"\nLargest modeled Naive/HPC-2D speedup: {best:.2f}x "
           f"(paper reports up to 4.4x on SSYN, k=10)\n")

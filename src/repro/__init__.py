@@ -17,9 +17,13 @@ Factorization" (Kannan, Ballard, Park; PPoPP 2016):
   (:mod:`repro.nls`),
 * the paper's algorithms: sequential ANLS (Algorithm 1), Naive-Parallel-NMF
   (Algorithm 2) and HPC-NMF (Algorithm 3) in :mod:`repro.core`,
-* dataset generators matching the paper's evaluation (:mod:`repro.data`), and
+* dataset generators matching the paper's evaluation (:mod:`repro.data`),
 * the performance model and experiment harness that regenerate every table
-  and figure of the evaluation section (:mod:`repro.perf`).
+  and figure of the evaluation section (:mod:`repro.perf`), and
+* the planning layer (:mod:`repro.plan`): the §5 cost model as an executable
+  selection rule — ``fit(A, k, variant="auto", grid="auto")`` scores every
+  modeled variant × grid and runs the argmin, recording the chosen
+  :class:`~repro.plan.planner.ExecutionPlan` on the result.
 
 Quickstart
 ----------
@@ -55,6 +59,10 @@ __all__ = [
     "available_variants",
     "get_variant",
     "register_variant",
+    "ProblemSpec",
+    "ExecutionPlan",
+    "make_plan",
+    "plan_candidates",
     "__version__",
 ]
 
@@ -69,6 +77,10 @@ _LAZY_EXPORTS = {
     "available_variants": ("repro.core.variants", "available_variants"),
     "get_variant": ("repro.core.variants", "get_variant"),
     "register_variant": ("repro.core.variants", "register_variant"),
+    "ProblemSpec": ("repro.plan.problem", "ProblemSpec"),
+    "ExecutionPlan": ("repro.plan.planner", "ExecutionPlan"),
+    "make_plan": ("repro.plan.planner", "make_plan"),
+    "plan_candidates": ("repro.plan.planner", "plan_candidates"),
 }
 
 

@@ -1,9 +1,12 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Four subcommands cover the common workflows:
+Five subcommands cover the common workflows:
 
 * ``factorize`` — run any registered NMF variant on a registered dataset or
   an ``.npy``/``.npz`` file and print the result summary;
+* ``plan`` — print the planner's candidate table (variant × grid, predicted
+  per-task split, total, words moved) for a dataset or an ad-hoc
+  ``--shape M N [--density D]`` problem, paper-Table-2 style;
 * ``variants`` — list the registered variants and their capability flags;
 * ``experiment`` — regenerate one of the paper's figures/tables (modeled at
   paper scale, optionally measured at laptop scale);
@@ -23,13 +26,17 @@ from pathlib import Path
 import numpy as np
 import scipy.sparse as sp
 
+from repro import __version__
 from repro.comm.backends import available_backends
 from repro.core.api import fit
 from repro.core.variants import available_variants, get_variant
-from repro.data.registry import DATASETS, PAPER_DATASETS, load_dataset, measured_scale
+from repro.data.registry import DATASETS, PAPER_DATASETS, load_dataset, measured_scale, paper_scale
 from repro.nls.base import available_solvers
 from repro.perf.experiments import comparison_vs_k, strong_scaling, table3_grid
+from repro.perf.machine import MachineSpec, edison_machine, laptop_machine
 from repro.perf.report import render_breakdown_table, render_table3, to_csv
+from repro.plan import ProblemSpec, plan_candidates, render_plan_table
+from repro.util.errors import ShapeError
 
 
 def _load_input(name_or_path: str):
@@ -88,6 +95,57 @@ def _cmd_factorize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_machine(name: str) -> MachineSpec:
+    if name == "edison":
+        return edison_machine()
+    if name == "laptop":
+        return laptop_machine()
+    return MachineSpec.calibrate()
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    if args.ranks < 1:
+        raise SystemExit(f"--ranks must be >= 1, got {args.ranks}")
+    if args.shape and args.input:
+        raise SystemExit(
+            f"pass either a dataset name ({args.input!r}) or --shape, not both"
+        )
+    if args.density is not None and not args.shape:
+        raise SystemExit(
+            "--density only applies to ad-hoc --shape problems; registered "
+            "datasets carry their own sparsity"
+        )
+    if args.shape:
+        m, n = args.shape
+        if m < 1 or n < 1:
+            raise SystemExit(f"--shape dimensions must be positive, got {m} {n}")
+        nnz = args.density * m * n if args.density is not None else None
+        try:
+            problem = ProblemSpec(m=m, n=n, k=args.k, nnz=nnz)
+        except ShapeError as exc:  # e.g. density outside [0, 1] or k < 1
+            raise SystemExit(str(exc)) from None
+    elif args.input:
+        if args.input in PAPER_DATASETS:
+            spec = paper_scale(args.input)
+        elif args.input in DATASETS:
+            spec = DATASETS[args.input]
+        else:
+            known = sorted(DATASETS) + sorted(PAPER_DATASETS)
+            raise SystemExit(
+                f"'{args.input}' is not a registered dataset; known: {', '.join(known)}"
+            )
+        try:
+            problem = ProblemSpec.from_dataset(spec, args.k)
+        except ShapeError as exc:  # e.g. -k 0
+            raise SystemExit(str(exc)) from None
+    else:
+        raise SystemExit("pass a dataset name (e.g. SSYN) or --shape M N")
+    machine = _resolve_machine(args.machine)
+    plans = plan_candidates(problem, args.ranks, machine=machine)
+    print(render_plan_table(plans))
+    return 0
+
+
 def _cmd_variants(_args: argparse.Namespace) -> int:
     flags = ("parallelizable", "sparse_ok", "symmetric_input", "supports_regularization")
     header = f"{'name':>12}  " + "  ".join(f"{f:>{len(f)}}" for f in flags) + "  summary"
@@ -139,6 +197,9 @@ def _cmd_datasets(_args: argparse.Namespace) -> int:
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     fact = sub.add_parser("factorize", help="run NMF on a dataset or matrix file")
@@ -162,6 +223,37 @@ def build_parser() -> argparse.ArgumentParser:
     fact.add_argument("--seed", type=int, default=42)
     fact.add_argument("--save", help="write the full result to this .npz path")
     fact.set_defaults(func=_cmd_factorize)
+
+    plan = sub.add_parser(
+        "plan",
+        help="print the cost-model candidate table (variant x grid) for a problem",
+    )
+    plan.add_argument(
+        "input", nargs="?",
+        help="registered dataset name or paper dataset name "
+             "(SSYN/DSYN/Video/Webbase resolve to paper scale); "
+             "omit when using --shape",
+    )
+    plan.add_argument(
+        "--shape", nargs=2, type=int, metavar=("M", "N"),
+        help="ad-hoc problem dimensions instead of a dataset name",
+    )
+    plan.add_argument(
+        "--density", type=float, default=None,
+        help="nonzero fraction for an ad-hoc sparse problem (default: dense)",
+    )
+    plan.add_argument("-k", type=int, default=50, help="target rank (default 50)")
+    plan.add_argument(
+        "-p", "--ranks", type=int, default=600,
+        help="number of SPMD ranks to plan for (default 600, the paper's "
+             "comparison core count)",
+    )
+    plan.add_argument(
+        "--machine", default="edison", choices=["edison", "laptop", "local"],
+        help="machine constants to price against ('local' micro-benchmarks "
+             "this host via MachineSpec.calibrate)",
+    )
+    plan.set_defaults(func=_cmd_plan)
 
     var = sub.add_parser("variants", help="list registered NMF variants")
     var.set_defaults(func=_cmd_variants)

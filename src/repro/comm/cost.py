@@ -18,7 +18,9 @@ Two things are built on the model:
 
 * :class:`CollectiveCost` — evaluates the closed-form cost of each collective,
   used by the analytic performance model (:mod:`repro.perf.model`) to
-  regenerate the paper's figures at paper scale;
+  regenerate the paper's figures at paper scale, and — through the
+  per-variant cost hooks — by the planning layer (:mod:`repro.plan`) to
+  score variant × grid candidates for ``fit(..., variant="auto")``;
 * :class:`CostLedger` — a per-rank ledger that records, for every collective a
   :class:`~repro.comm.communicator.Comm` actually executes, the operation
   name, the number of words moved and the number of messages on the critical

@@ -27,7 +27,12 @@ from repro.util.errors import CommunicatorError
 
 
 def factor_pairs(p: int) -> List[Tuple[int, int]]:
-    """All (pr, pc) with pr*pc == p, pr and pc positive integers."""
+    """All (pr, pc) with pr*pc == p, pr and pc positive integers.
+
+    This is the planner's search space: :mod:`repro.plan` scores the cost
+    model over every pair and :func:`choose_grid` must coincide with that
+    brute-force argmin (property-tested in ``tests/plan/test_planner.py``).
+    """
     pairs = []
     for pr in range(1, p + 1):
         if p % pr == 0:

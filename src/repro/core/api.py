@@ -37,7 +37,7 @@ import numpy as np
 from repro.core.config import Algorithm, NMFConfig
 from repro.core.observers import IterationObserver
 from repro.core.result import NMFResult
-from repro.core.variants import available_variants, get_variant
+from repro.core.variants import available_variants, get_variant, variant_name
 from repro.util.errors import ShapeError
 from repro.util.validation import is_sparse
 
@@ -70,10 +70,11 @@ def fit(
     *,
     variant: Optional[str] = None,
     n_ranks: Optional[int] = None,
-    grid: Optional[Tuple[int, int]] = None,
+    grid: Union[str, Tuple[int, int], None] = None,
     backend: Optional[str] = None,
     config: Optional[NMFConfig] = None,
     observers: Sequence[IterationObserver] = (),
+    machine=None,
     **options,
 ) -> NMFResult:
     """Compute a rank-``k`` NMF of ``A`` with any registered variant.
@@ -91,14 +92,18 @@ def fit(
         Target rank.  May be omitted when ``config`` carries it; a ``k`` that
         contradicts ``config.k`` raises :class:`~repro.util.errors.ShapeError`.
     variant:
-        Registry name (see :func:`repro.core.variants.available_variants`).
+        Registry name (see :func:`repro.core.variants.available_variants`),
+        or ``"auto"`` to let the planner (:mod:`repro.plan`) pick the
+        cost-model argmin over every modeled variant (§5's selection rule).
         Default: ``"sequential"``, or ``"hpc2d"`` when ``n_ranks > 1``.
     n_ranks:
         Number of SPMD ranks for parallelizable variants (stored as
         ``config.n_ranks``).  Sequential-only variants reject ``n_ranks > 1``
         — no silent fallback.
     grid:
-        Explicit ``(pr, pc)`` processor grid for the HPC variants.
+        Explicit ``(pr, pc)`` processor grid for the HPC variants, or
+        ``"auto"`` to have the planner score **all** factorizations of ``p``
+        and run the cheapest.
     backend:
         Execution backend registry name (``"thread"``, ``"lockstep"``, ...);
         overrides ``config.backend``.  Ignored by sequential-only variants.
@@ -108,12 +113,21 @@ def fit(
         :class:`~repro.core.observers.IterationObserver` objects notified
         after every outer iteration of the variant's loop; any observer can
         request an early stop.
+    machine:
+        :class:`~repro.perf.machine.MachineSpec` the planner prices
+        candidates against when ``variant``/``grid`` is ``"auto"``.
+        Default: the deterministic Edison constants; pass
+        ``MachineSpec.calibrate()`` to plan for the actual host.
     **options:
         Remaining keywords are split by name: :class:`NMFConfig` fields
         (``max_iters``, ``tol``, ``solver``, ``seed``, ...) configure the
         run; anything else must be an extra option of the chosen variant
         (e.g. ``alpha`` for ``symmetric``, ``l1`` for ``regularized``,
         ``window`` for ``streaming``).
+
+    When the planner ran, the chosen :class:`~repro.plan.planner.
+    ExecutionPlan` (variant, grid, predicted per-iteration breakdown and
+    words moved) is recorded on the result as ``result.plan``.
 
     Examples
     --------
@@ -124,6 +138,14 @@ def fit(
     ('naive', 3, 'thread')
     >>> fit(A, 4, variant="regularized", l1=0.5, max_iters=5).variant
     'regularized'
+
+    ``variant="auto"`` consults the cost model; on a tall-skinny matrix the
+    §5 rule lands in the 1D regime (``pr = p, pc = 1``):
+
+    >>> tall = np.abs(np.random.default_rng(1).standard_normal((320, 12)))
+    >>> auto = fit(tall, 3, variant="auto", grid="auto", n_ranks=4, max_iters=2)
+    >>> auto.variant, auto.plan.grid, auto.grid_shape
+    ('hpc2d', (4, 1), (4, 1))
     """
     config_options = {key: val for key, val in options.items() if key in _CONFIG_FIELDS}
     extras = {key: val for key, val in options.items() if key not in _CONFIG_FIELDS}
@@ -152,7 +174,38 @@ def fit(
         if ranks is None:
             ranks = config.n_ranks if config is not None else 1
         variant = "hpc2d" if ranks > 1 else "sequential"
-    variant_obj = get_variant(getattr(variant, "value", variant))
+
+    auto_variant = isinstance(variant, str) and variant.lower() == "auto"
+    auto_grid = isinstance(grid, str)
+    if auto_grid and grid.lower() != "auto":
+        raise TypeError(f"grid must be a (pr, pc) tuple or 'auto', got {grid!r}")
+
+    plan = None
+    if auto_variant or auto_grid:
+        from repro.plan import ProblemSpec, make_plan
+
+        eff_k = k if k is not None else (config.k if config is not None else None)
+        if eff_k is None:
+            raise ShapeError("a target rank is required: pass k or a config with k set")
+        ranks = n_ranks if n_ranks is not None else (
+            config.n_ranks if config is not None else 1
+        )
+        plan = make_plan(
+            ProblemSpec.from_matrix(A, eff_k),
+            ranks,
+            machine=machine,
+            variants=None if auto_variant else [variant_name(variant)],
+            grid=None if auto_grid else grid,
+            backend=backend or (config.backend if config is not None else None),
+            solver=config_options.get(
+                "solver", config.solver if config is not None else "bpp"
+            ),
+        )
+        variant = plan.variant
+        if auto_grid:
+            grid = plan.grid  # None for grid-free variants (sequential, naive)
+
+    variant_obj = get_variant(variant_name(variant))
 
     unknown = sorted(set(extras) - set(variant_obj.extra_options()))
     if unknown:
@@ -181,7 +234,10 @@ def fit(
             f"variant {variant_obj.name!r} does not accept scipy sparse input"
         )
 
-    return variant_obj.run(A, cfg, observers=observers, **extras)
+    result = variant_obj.run(A, cfg, observers=observers, **extras)
+    if plan is not None:
+        result.plan = plan
+    return result
 
 
 class NMF:
@@ -209,7 +265,7 @@ class NMF:
         *,
         variant: Optional[str] = None,
         n_ranks: Optional[int] = None,
-        grid: Optional[Tuple[int, int]] = None,
+        grid: Union[str, Tuple[int, int], None] = None,
         backend: Optional[str] = None,
         config: Optional[NMFConfig] = None,
         observers: Sequence[IterationObserver] = (),
@@ -281,7 +337,9 @@ class NMF:
         return self.result_
 
     def __repr__(self) -> str:
-        variant = self.variant or "auto"
+        # An unset variant means "library default" (sequential/hpc2d by rank
+        # count), which is distinct from variant="auto" (planner mode).
+        variant = self.variant if self.variant is not None else "default"
         return f"NMF(k={self.k}, variant={variant!r})"
 
 

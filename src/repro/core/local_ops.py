@@ -60,6 +60,25 @@ def local_cross_term(rhs_block: np.ndarray, factor_block: np.ndarray) -> float:
     return float(np.vdot(np.asarray(rhs_block), np.asarray(factor_block)))
 
 
+def dense_matmul_flops(m: int, n: int, k: int) -> float:
+    """Flops of one dense ``(m × n) @ (n × k)`` multiply: ``2 m n k``.
+
+    This is the single source of truth for the §4.3 matmul flop count —
+    the analytic model (:mod:`repro.perf.model`) derives its per-iteration
+    expressions from it rather than re-encoding the formula.
+    """
+    return 2.0 * m * n * k
+
+
+def sparse_matmul_flops(nnz: float, k: int) -> float:
+    """Flops of one sparse-times-dense multiply with ``nnz`` nonzeros: ``2 nnz k``.
+
+    The §4.3 / §5 sparse counterpart of :func:`dense_matmul_flops`; also the
+    single source of truth for :mod:`repro.perf.model`.
+    """
+    return 2.0 * nnz * k
+
+
 def matmul_flops(A_block, k: int) -> float:
     """Flop count of multiplying the local block with a k-column factor.
 
@@ -67,6 +86,6 @@ def matmul_flops(A_block, k: int) -> float:
     ``2 nnz k`` (the paper's §4.3 / §5 distinction).
     """
     if is_sparse(A_block):
-        return 2.0 * A_block.nnz * k
+        return sparse_matmul_flops(A_block.nnz, k)
     m_local, n_local = A_block.shape
-    return 2.0 * m_local * n_local * k
+    return dense_matmul_flops(m_local, n_local, k)

@@ -14,12 +14,15 @@ import dataclasses
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Union
 
 import numpy as np
 
 from repro.comm.profiler import TimeBreakdown
 from repro.core.config import NMFConfig
+
+if TYPE_CHECKING:  # import would be circular at runtime (plan → variants → result)
+    from repro.plan.planner import ExecutionPlan
 
 
 @dataclass
@@ -63,6 +66,13 @@ class NMFResult:
         result (see :mod:`repro.core.variants`), the execution backend it ran
         on (``None`` for in-process sequential variants) and the local NLS
         solver it used.  Filled from ``config`` when not set explicitly.
+    plan:
+        The :class:`~repro.plan.planner.ExecutionPlan` the planner chose when
+        the run used ``variant="auto"`` / ``grid="auto"`` (``None``
+        otherwise).  Carries the predicted per-iteration
+        :class:`~repro.comm.profiler.TimeBreakdown` and words moved, so
+        predicted-vs-measured comparison is ``result.plan.breakdown`` next
+        to ``result.breakdown``.
     """
 
     W: np.ndarray
@@ -78,6 +88,7 @@ class NMFResult:
     variant: str = ""
     backend: Optional[str] = None
     solver: str = ""
+    plan: Optional["ExecutionPlan"] = None
 
     def __post_init__(self):
         if not self.variant:
@@ -142,6 +153,8 @@ class NMFResult:
                 if sec > 0
             )
             lines.append(f"  time breakdown: total={total:.3f}s ({parts})")
+        if self.plan is not None:
+            lines.append(f"  plan: {self.plan.summary()}")
         return "\n".join(lines)
 
     # -- serialisation -------------------------------------------------------
@@ -169,6 +182,7 @@ class NMFResult:
             "variant": self.variant,
             "backend": self.backend,
             "solver": self.solver,
+            "plan": self.plan.to_dict() if self.plan is not None else None,
         }
         base_fields = {f.name for f in dataclasses.fields(NMFResult)}
         for extra in dataclasses.fields(self):
@@ -221,6 +235,12 @@ class NMFResult:
             for f in dataclasses.fields(cls)
             if f.name not in base_fields and f.name in meta
         }
+        plan_dict = meta.get("plan")
+        plan = None
+        if plan_dict:
+            from repro.plan.planner import ExecutionPlan
+
+            plan = ExecutionPlan.from_dict(plan_dict)
         grid_shape = meta.get("grid_shape")
         return cls(
             W=W,
@@ -236,5 +256,6 @@ class NMFResult:
             variant=meta.get("variant", ""),
             backend=meta.get("backend"),
             solver=meta.get("solver", ""),
+            plan=plan,
             **extra,
         )

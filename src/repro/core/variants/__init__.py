@@ -29,6 +29,7 @@ from repro.core.variants.base import (
     available_variants,
     get_variant,
     register_variant,
+    variant_name,
 )
 
 __all__ = [
@@ -36,4 +37,5 @@ __all__ = [
     "available_variants",
     "get_variant",
     "register_variant",
+    "variant_name",
 ]

@@ -26,6 +26,13 @@ surfaces:
 and implements one uniform entry point::
 
     run(A, config, observers=(), **variant_options) -> NMFResult
+
+Variants that the analytic model of §4.3/§5 covers additionally implement
+the **cost hooks** the planning layer (:mod:`repro.plan`) consumes —
+``predicted_breakdown(problem, p, grid, machine)``,
+``predicted_words(problem, p, grid)`` and ``candidate_grids(problem, p)``
+— so analysis dispatches through the same registry as execution (no
+duplicate variant taxonomy in :mod:`repro.perf.model`).
 """
 
 from __future__ import annotations
@@ -71,6 +78,40 @@ class Variant(abc.ABC):
         :class:`~repro.core.result.NMFResult`.
         """
 
+    @property
+    def label(self) -> str:
+        """Display label used by reports and plan tables (default: the name).
+
+        Subclasses override with a plain class attribute (e.g.
+        ``label = "HPC-NMF-2D"`` to match the paper's figure legends).
+        """
+        return self.name
+
+    # -- analytic cost hooks (the planning layer's interface) ---------------
+    def predicted_breakdown(self, problem, p: int, grid=None, machine=None):
+        """Modeled per-iteration :class:`~repro.comm.profiler.TimeBreakdown`.
+
+        ``problem`` is a :class:`~repro.plan.problem.ProblemSpec`; ``grid``
+        is a ``(pr, pc)`` tuple for grid-using variants (``None`` applies
+        the variant's own default); ``machine`` a
+        :class:`~repro.perf.machine.MachineSpec` (``None`` = Edison).
+        Returns ``None`` when the variant has no analytic model — the
+        planner then skips it.
+        """
+        return None
+
+    def predicted_words(self, problem, p: int, grid=None) -> Optional[float]:
+        """Modeled per-iteration communication volume in words (or ``None``)."""
+        return None
+
+    def candidate_grids(self, problem, p: int):
+        """Grid candidates the planner should score for this variant.
+
+        Grid-free variants return ``(None,)`` (one candidate, no grid);
+        ``hpc2d`` returns every ``pr × pc`` factorization of ``p``.
+        """
+        return (None,)
+
     def capabilities(self) -> Dict[str, bool]:
         """The four capability flags as a dict (used by the CLI listing)."""
         return {
@@ -102,6 +143,16 @@ class Variant(abc.ABC):
 _REGISTRY: Dict[str, Variant] = {}
 
 
+def variant_name(variant) -> str:
+    """Normalise a variant selector to its lower-case registry name.
+
+    Accepts a registry name string or anything with a ``.value`` (the
+    deprecated ``AlgorithmVariant`` enum members) — the one coercion every
+    layer (front door, planner, experiment harness) shares.
+    """
+    return str(getattr(variant, "value", variant)).lower()
+
+
 def register_variant(cls):
     """Class decorator adding a variant (as a singleton) to the registry."""
     if not (isinstance(cls, type) and issubclass(cls, Variant)):
@@ -130,7 +181,7 @@ def get_variant(name: str) -> Variant:
     """
     _ensure_builtin_variants()
     try:
-        return _REGISTRY[str(name).lower()]
+        return _REGISTRY[variant_name(name)]
     except KeyError:
         raise KeyError(
             f"unknown variant {name!r}; available variants: {sorted(_REGISTRY)}"

@@ -38,7 +38,18 @@ class NaiveVariant(_SPMDVariant):
     """Algorithm 2: all-gathers whole factor matrices every iteration."""
 
     name = "naive"
+    label = "Naive"
     summary = "Algorithm 2: Naive-Parallel-NMF baseline ((m+n)k words/iter)"
+
+    def predicted_breakdown(self, problem, p, grid=None, machine=None):
+        from repro.perf.model import naive_breakdown
+
+        return naive_breakdown(problem, problem.k, p, machine=machine)
+
+    def predicted_words(self, problem, p, grid=None):
+        from repro.perf.model import naive_words_per_iteration
+
+        return naive_words_per_iteration(problem, problem.k, p)
 
     def run(self, A, config: NMFConfig, observers=()) -> NMFResult:
         A = self._validate(A, config)
@@ -60,6 +71,22 @@ class _HpcVariant(_SPMDVariant):
 
     algorithm: Algorithm
 
+    def _default_grid(self, problem, p):
+        """The grid this variant runs on when none is given explicitly."""
+        raise NotImplementedError
+
+    def predicted_breakdown(self, problem, p, grid=None, machine=None):
+        from repro.perf.model import hpc_breakdown
+
+        grid = grid or self._default_grid(problem, p)
+        return hpc_breakdown(problem, problem.k, p, grid=grid, machine=machine)
+
+    def predicted_words(self, problem, p, grid=None):
+        from repro.perf.model import hpc_words_per_iteration
+
+        grid = grid or self._default_grid(problem, p)
+        return hpc_words_per_iteration(problem, problem.k, p, grid=grid)
+
     def run(self, A, config: NMFConfig, observers=()) -> NMFResult:
         A = self._validate(A, config)
         cfg = config.with_options(algorithm=self.algorithm)
@@ -80,8 +107,15 @@ class Hpc1DVariant(_HpcVariant):
     """Algorithm 3 on the 1D grid ``pr = p, pc = 1`` (the paper's HPC-NMF-1D)."""
 
     name = "hpc1d"
+    label = "HPC-NMF-1D"
     summary = "Algorithm 3 on a 1D grid (pr = p, pc = 1)"
     algorithm = Algorithm.HPC_1D
+
+    def _default_grid(self, problem, p):
+        return (p, 1)
+
+    def candidate_grids(self, problem, p):
+        return ((p, 1),)
 
 
 @register_variant
@@ -89,5 +123,17 @@ class Hpc2DVariant(_HpcVariant):
     """Algorithm 3 with the §5 grid-selection rule (the paper's contribution)."""
 
     name = "hpc2d"
+    label = "HPC-NMF-2D"
     summary = "Algorithm 3: HPC-NMF on the §5-selected pr x pc grid"
     algorithm = Algorithm.HPC_2D
+
+    def _default_grid(self, problem, p):
+        from repro.comm.grid import choose_grid
+
+        return choose_grid(problem.m, problem.n, p)
+
+    def candidate_grids(self, problem, p):
+        """Every factorization of ``p`` — the planner's brute-force search space."""
+        from repro.comm.grid import factor_pairs
+
+        return tuple(factor_pairs(p))

@@ -13,9 +13,26 @@ class SequentialVariant(Variant):
     """Single-process ANLS (the reference the parallel variants must match)."""
 
     name = "sequential"
+    label = "Sequential"
     summary = "Algorithm 1: sequential ANLS reference"
     parallelizable = False
     sparse_ok = True
+
+    def predicted_breakdown(self, problem, p, grid=None, machine=None):
+        """Single-process cost: Algorithm 2's closed form at ``p = 1``.
+
+        At one process the Naive and HPC formulas coincide (all collectives
+        are free, the Gram "redundancy" is the whole computation), so the
+        planner can compare staying sequential against going parallel.
+        """
+        if p != 1:
+            return None
+        from repro.perf.model import naive_breakdown
+
+        return naive_breakdown(problem, problem.k, 1, machine=machine)
+
+    def predicted_words(self, problem, p, grid=None):
+        return 0.0 if p == 1 else None
 
     def run(self, A, config: NMFConfig, observers=()) -> NMFResult:
         cfg = config.with_options(algorithm=Algorithm.SEQUENTIAL, n_ranks=1)

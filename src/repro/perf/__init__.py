@@ -10,21 +10,34 @@ Two modes regenerate the paper's evaluation:
 * **measured** — actually run the three algorithms on the SPMD thread backend
   with scaled-down datasets and report real wall-clock breakdowns.
 
-:mod:`repro.perf.model` holds the closed forms, :mod:`repro.perf.experiments`
-the drivers for each figure/table, and :mod:`repro.perf.report` the CSV/ASCII
-rendering used by the benchmark harness.
+:mod:`repro.perf.model` holds the closed forms; *which* closed form prices
+which variant lives on the variant registry (each
+:class:`~repro.core.variants.Variant` exposes ``predicted_breakdown``),
+which is also what the planning layer (:mod:`repro.plan`) consumes to pick
+variants and grids at ``fit(..., variant="auto")`` time.
+:mod:`repro.perf.experiments` holds the drivers for each figure/table, and
+:mod:`repro.perf.report` the CSV/ASCII rendering used by the benchmark
+harness.
 """
 
-from repro.perf.machine import MachineSpec, EDISON_NODE, edison_machine
+from repro.perf.machine import (
+    EDISON_NODE,
+    MachineSpec,
+    edison_machine,
+    laptop_machine,
+)
 from repro.perf.model import (
-    AlgorithmVariant,
     dense_flops_per_iteration,
+    sparse_flops_per_iteration,
     naive_breakdown,
+    naive_words_per_iteration,
     hpc_breakdown,
+    hpc_words_per_iteration,
     predicted_breakdown,
     table2_costs,
 )
 from repro.perf.experiments import (
+    PAPER_VARIANTS,
     ComparisonPoint,
     comparison_vs_k,
     strong_scaling,
@@ -37,10 +50,17 @@ __all__ = [
     "MachineSpec",
     "EDISON_NODE",
     "edison_machine",
-    "AlgorithmVariant",
+    "laptop_machine",
+    # NB: the deprecated AlgorithmVariant alias stays importable by name via
+    # __getattr__ below but is deliberately NOT in __all__, so star imports
+    # do not trip its DeprecationWarning.
+    "PAPER_VARIANTS",
     "dense_flops_per_iteration",
+    "sparse_flops_per_iteration",
     "naive_breakdown",
+    "naive_words_per_iteration",
     "hpc_breakdown",
+    "hpc_words_per_iteration",
     "predicted_breakdown",
     "table2_costs",
     "ComparisonPoint",
@@ -52,3 +72,12 @@ __all__ = [
     "render_table3",
     "to_csv",
 ]
+
+
+def __getattr__(name: str):
+    """Forward the deprecated ``AlgorithmVariant`` alias (warns in model)."""
+    if name == "AlgorithmVariant":
+        from repro.perf import model
+
+        return model.AlgorithmVariant
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -26,7 +26,11 @@ from repro.comm.profiler import TimeBreakdown
 from repro.core.api import fit
 from repro.data.registry import DatasetSpec, measured_scale, paper_scale
 from repro.perf.machine import MachineSpec, edison_machine
-from repro.perf.model import AlgorithmVariant, predicted_breakdown
+from repro.core.variants import variant_name as _variant_name
+from repro.perf.model import predicted_breakdown
+
+#: The three variants the paper's evaluation compares, by registry name.
+PAPER_VARIANTS: tuple = ("naive", "hpc1d", "hpc2d")
 
 #: Core counts used by the paper's scaling experiments.
 PAPER_CORE_COUNTS = [24, 96, 216, 384, 600]
@@ -47,7 +51,7 @@ class ComparisonPoint:
     """One bar of a Figure-3-style plot."""
 
     dataset: str
-    variant: AlgorithmVariant
+    variant: str  # variant registry name
     k: int
     p: int
     breakdown: TimeBreakdown
@@ -56,6 +60,13 @@ class ComparisonPoint:
     @property
     def total(self) -> float:
         return self.breakdown.total
+
+    @property
+    def variant_label(self) -> str:
+        """Display label from the variant registry (paper legend spelling)."""
+        from repro.core.variants import get_variant
+
+        return get_variant(self.variant).label
 
 
 @dataclass
@@ -66,12 +77,13 @@ class ExperimentResult:
     points: List[ComparisonPoint] = field(default_factory=list)
 
     def totals(self) -> Dict[tuple, float]:
-        return {(pt.variant.value, pt.k, pt.p): pt.total for pt in self.points}
+        return {(pt.variant, pt.k, pt.p): pt.total for pt in self.points}
 
-    def for_variant(self, variant: AlgorithmVariant) -> List[ComparisonPoint]:
-        return [pt for pt in self.points if pt.variant == variant]
+    def for_variant(self, variant) -> List[ComparisonPoint]:
+        name = _variant_name(variant)
+        return [pt for pt in self.points if pt.variant == name]
 
-    def speedup(self, baseline: AlgorithmVariant, against: AlgorithmVariant) -> Dict[tuple, float]:
+    def speedup(self, baseline, against) -> Dict[tuple, float]:
         """Per (k, p) ratio baseline_total / against_total (e.g. Naive / HPC-2D)."""
         base = {(pt.k, pt.p): pt.total for pt in self.for_variant(baseline)}
         other = {(pt.k, pt.p): pt.total for pt in self.for_variant(against)}
@@ -84,7 +96,7 @@ class ExperimentResult:
 
 def measured_breakdown(
     spec: DatasetSpec,
-    variant: AlgorithmVariant,
+    variant: str,
     k: int,
     n_ranks: int,
     iterations: int = 3,
@@ -96,15 +108,15 @@ def measured_breakdown(
     The error computation is disabled so the measured categories contain only
     the six tasks of the paper's breakdown.  ``backend`` selects the
     execution substrate (``"thread"`` for real overlap, ``"lockstep"`` for
-    deterministic runs and rank counts beyond the machine).  The
-    :class:`AlgorithmVariant` values are variant-registry names, so the run
-    goes straight through :func:`repro.fit` — no dispatch table here.
+    deterministic runs and rank counts beyond the machine).  ``variant`` is a
+    variant-registry name, so the run goes straight through
+    :func:`repro.fit` — no dispatch table here.
     """
     A = spec.load()
     result = fit(
         A,
         k,
-        variant=AlgorithmVariant(variant).value,
+        variant=_variant_name(variant),
         n_ranks=n_ranks,
         backend=backend,
         max_iters=iterations,
@@ -124,7 +136,7 @@ def comparison_vs_k(
     ks: Optional[Sequence[int]] = None,
     cores: Optional[int] = None,
     machine: Optional[MachineSpec] = None,
-    variants: Sequence[AlgorithmVariant] = tuple(AlgorithmVariant),
+    variants: Sequence[str] = PAPER_VARIANTS,
     measured_iterations: int = 3,
     backend: str = "thread",
 ) -> ExperimentResult:
@@ -147,7 +159,7 @@ def comparison_vs_k(
 
     result = ExperimentResult(name=f"comparison_vs_k[{dataset},{mode},p={p}]")
     for variant in variants:
-        variant = AlgorithmVariant(variant)
+        variant = _variant_name(variant)
         for k in ks:
             if mode == "modeled":
                 breakdown = predicted_breakdown(variant, spec, k, p, machine=machine)
@@ -169,7 +181,7 @@ def strong_scaling(
     k: int = 50,
     core_counts: Optional[Sequence[int]] = None,
     machine: Optional[MachineSpec] = None,
-    variants: Sequence[AlgorithmVariant] = tuple(AlgorithmVariant),
+    variants: Sequence[str] = PAPER_VARIANTS,
     measured_iterations: int = 3,
     backend: str = "thread",
 ) -> ExperimentResult:
@@ -190,7 +202,7 @@ def strong_scaling(
 
     result = ExperimentResult(name=f"strong_scaling[{dataset},{mode},k={k}]")
     for variant in variants:
-        variant = AlgorithmVariant(variant)
+        variant = _variant_name(variant)
         for p in core_counts:
             if mode == "modeled":
                 breakdown = predicted_breakdown(variant, spec, k, p, machine=machine)
@@ -223,8 +235,8 @@ def table3_grid(
     """
     machine = machine or edison_machine()
     out: Dict[str, Dict[str, Dict[int, float]]] = {}
-    for variant in AlgorithmVariant:
-        out[variant.value] = {}
+    for variant in PAPER_VARIANTS:
+        out[variant] = {}
         for dataset in datasets:
             if mode == "modeled":
                 spec = paper_scale(dataset)
@@ -244,5 +256,5 @@ def table3_grid(
                         iterations=measured_iterations, backend=backend,
                     )
                 column[p] = breakdown.total
-            out[variant.value][dataset] = column
+            out[variant][dataset] = column
     return out

@@ -21,9 +21,10 @@ EXPERIMENTS.md for the calibration note).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, replace
 
-from repro.comm.cost import EDISON, AlphaBetaGamma, CollectiveCost
+from repro.comm.cost import EDISON, LAPTOP, AlphaBetaGamma, CollectiveCost
 
 #: Raw Edison node-level numbers used to derive the per-core constants.
 EDISON_NODE = {
@@ -74,7 +75,63 @@ class MachineSpec:
     def with_options(self, **kwargs) -> "MachineSpec":
         return replace(self, **kwargs)
 
+    @classmethod
+    def calibrate(cls, size: int = 384, repeats: int = 3, seed: int = 0) -> "MachineSpec":
+        """Micro-benchmark *this* host and return a spec priced to it.
+
+        Two quick measurements (well under a second in total):
+
+        * a ``size × size`` GEMM, timed best-of-``repeats`` — its achieved
+          flop rate becomes ``gamma`` (so ``dense_mm_efficiency`` is 1.0 by
+          construction: gamma already reflects a real kernel, not peak);
+        * a ``size²``-double buffer copy — its per-word time becomes
+          ``beta``, the in-process stand-in for interconnect bandwidth
+          (rank-to-rank "communication" on the SPMD backends is a memcpy).
+
+        ``alpha`` is fixed at 100 ns, a deposit-slot handoff rather than a
+        NIC round-trip.  The relative kernel efficiencies (sparse MM, Gram,
+        NLS) keep their defaults — they describe kernel *shapes*, not the
+        host.  The deterministic Edison constants
+        (:func:`edison_machine`) remain the default everywhere; calibration
+        is opt-in (``repro plan --machine local``, ``fit(...,
+        machine=MachineSpec.calibrate())``) so tests and figure regeneration
+        stay reproducible.
+        """
+        import numpy as np
+
+        from repro.core.local_ops import dense_matmul_flops
+
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((size, size))
+        y = rng.standard_normal((size, size))
+        x @ y  # warm-up: BLAS thread pools, page faults
+        gemm_best = min(_timed(lambda: x @ y) for _ in range(repeats))
+        gamma = gemm_best / dense_matmul_flops(size, size, size)
+
+        src = rng.standard_normal(size * size)
+        dst = np.empty_like(src)
+        np.copyto(dst, src)  # warm-up
+        copy_best = min(_timed(lambda: np.copyto(dst, src)) for _ in range(repeats))
+        beta = copy_best / src.size
+
+        network = AlphaBetaGamma(
+            alpha=1.0e-7, beta=beta, gamma=gamma, name="local-calibrated"
+        )
+        return cls(network=network, dense_mm_efficiency=1.0)
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
 
 def edison_machine(**overrides) -> MachineSpec:
     """The default Edison-calibrated machine model."""
     return MachineSpec(network=EDISON).with_options(**overrides) if overrides else MachineSpec(network=EDISON)
+
+
+def laptop_machine(**overrides) -> MachineSpec:
+    """A communication-friendly laptop-like preset (examples, what-if plans)."""
+    spec = MachineSpec(network=LAPTOP)
+    return spec.with_options(**overrides) if overrides else spec

@@ -2,14 +2,26 @@
 
 For each algorithm variant the model produces a per-task
 :class:`~repro.comm.profiler.TimeBreakdown` — the same six categories as the
-paper's Figure 3 — from the dataset dimensions, the rank ``k``, the process
-count ``p`` (and grid ``pr × pc``), and a
+paper's Figure 3 — from a :class:`~repro.plan.problem.ProblemSpec` (any
+problem dimensions, not just the paper datasets; a
+:class:`~repro.data.registry.DatasetSpec` or an in-memory matrix is coerced
+automatically), the process count ``p`` (and grid ``pr × pc``), and a
 :class:`~repro.perf.machine.MachineSpec`.
+
+This module holds the closed forms only.  *Which* closed form prices which
+variant lives on the variant registry — each
+:class:`~repro.core.variants.Variant` descriptor exposes
+``predicted_breakdown(problem, p, grid, machine)`` — and the planning layer
+(:mod:`repro.plan`) consumes that interface; :func:`predicted_breakdown`
+here is the registry-dispatching convenience the experiment harness calls.
 
 Computation terms
 -----------------
 * **MM** — multiplying the local data block by a factor block, twice per
-  iteration: ``4 m n k / p`` flops dense, ``4 nnz k / p`` sparse.
+  iteration: ``4 m n k / p`` flops dense, ``4 nnz k / p`` sparse (derived
+  from :func:`repro.core.local_ops.dense_matmul_flops` /
+  :func:`~repro.core.local_ops.sparse_matmul_flops`, the single source of
+  truth for the §4.3 matmul counts).
 * **Gram** — local Gram contributions: HPC-NMF computes ``(m + n) k² / p``
   flops; Naive computes the *full* ``(m + n) k²`` redundantly on every rank
   (drawback (2) of §4.3).
@@ -30,24 +42,26 @@ from __future__ import annotations
 
 import enum
 import math
+import warnings
 from typing import Optional, Tuple
 
 from repro.comm.grid import choose_grid
-from repro.comm.profiler import TaskCategory, TimeBreakdown
-from repro.data.registry import DatasetSpec
+from repro.comm.profiler import TimeBreakdown
+from repro.core.local_ops import dense_matmul_flops, sparse_matmul_flops
 from repro.perf.machine import MachineSpec, edison_machine
+from repro.plan.problem import ProblemSpec, as_problem
 
-
-class AlgorithmVariant(str, enum.Enum):
-    """The three implementations compared in the paper's evaluation."""
-
-    NAIVE = "naive"
-    HPC_1D = "hpc1d"
-    HPC_2D = "hpc2d"
-
-    @property
-    def label(self) -> str:
-        return {"naive": "Naive", "hpc1d": "HPC-NMF-1D", "hpc2d": "HPC-NMF-2D"}[self.value]
+__all__ = [
+    "bpp_flops",
+    "dense_flops_per_iteration",
+    "sparse_flops_per_iteration",
+    "naive_breakdown",
+    "hpc_breakdown",
+    "naive_words_per_iteration",
+    "hpc_words_per_iteration",
+    "predicted_breakdown",
+    "table2_costs",
+]
 
 
 # ---------------------------------------------------------------------------
@@ -55,13 +69,17 @@ class AlgorithmVariant(str, enum.Enum):
 # ---------------------------------------------------------------------------
 
 def dense_flops_per_iteration(m: int, n: int, k: int, p: int) -> float:
-    """Leading-order local matmul flops per iteration, dense case (``4mnk/p``)."""
-    return 4.0 * m * n * k / p
+    """Leading-order local matmul flops per iteration, dense case (``4mnk/p``).
+
+    Two local multiplies per iteration (``A_ij Hᵀ`` and ``Wᵀ A_ij``), each
+    counted by :func:`repro.core.local_ops.dense_matmul_flops`.
+    """
+    return 2.0 * dense_matmul_flops(m, n, k) / p
 
 
 def sparse_flops_per_iteration(nnz: float, k: int, p: int) -> float:
     """Leading-order local matmul flops per iteration, sparse case (``4·nnz·k/p``)."""
-    return 4.0 * nnz * k / p
+    return 2.0 * sparse_matmul_flops(nnz, k) / p
 
 
 def bpp_flops(k: int, columns: float, iterations: float, grouping_factor: float = 0.5) -> float:
@@ -85,33 +103,38 @@ def bpp_flops(k: int, columns: float, iterations: float, grouping_factor: float 
 # per-variant breakdowns
 # ---------------------------------------------------------------------------
 
-def _mm_seconds(spec: DatasetSpec, machine: MachineSpec, k: int, p: int) -> float:
-    if spec.is_sparse:
-        return machine.sparse_mm_seconds(sparse_flops_per_iteration(spec.nnz_estimate, k, p))
-    return machine.dense_mm_seconds(dense_flops_per_iteration(spec.m, spec.n, k, p))
+def _mm_seconds(problem: ProblemSpec, machine: MachineSpec, k: int, p: int) -> float:
+    if problem.is_sparse:
+        return machine.sparse_mm_seconds(sparse_flops_per_iteration(problem.nnz_estimate, k, p))
+    return machine.dense_mm_seconds(dense_flops_per_iteration(problem.m, problem.n, k, p))
 
 
-def _nls_seconds(spec: DatasetSpec, machine: MachineSpec, k: int, p: int) -> float:
-    columns = (spec.m + spec.n) / p
+def _nls_seconds(problem: ProblemSpec, machine: MachineSpec, k: int, p: int) -> float:
+    columns = (problem.m + problem.n) / p
     return machine.nls_seconds(
         bpp_flops(k, columns, machine.bpp_iterations, machine.bpp_grouping_factor)
     )
 
 
 def naive_breakdown(
-    spec: DatasetSpec,
+    spec,
     k: int,
     p: int,
     machine: Optional[MachineSpec] = None,
 ) -> TimeBreakdown:
-    """Per-iteration, per-task predicted seconds for Algorithm 2 (Naive)."""
+    """Per-iteration, per-task predicted seconds for Algorithm 2 (Naive).
+
+    ``spec`` may be a :class:`~repro.plan.problem.ProblemSpec`, a registered
+    :class:`~repro.data.registry.DatasetSpec`, or an in-memory matrix.
+    """
+    problem = as_problem(spec, k)
     machine = machine or edison_machine()
     coll = machine.collectives()
-    m, n = spec.m, spec.n
+    m, n = problem.m, problem.n
 
-    mm = _mm_seconds(spec, machine, k, p)
+    mm = _mm_seconds(problem, machine, k, p)
     gram = machine.gram_seconds((m + n) * k**2)       # redundant: not divided by p
-    nls = _nls_seconds(spec, machine, k, p)
+    nls = _nls_seconds(problem, machine, k, p)
     # Two all-gathers: W (m×k words) and H (n×k words).
     all_gather = coll.all_gather(p, m * k) + coll.all_gather(p, n * k)
 
@@ -126,7 +149,7 @@ def naive_breakdown(
 
 
 def hpc_breakdown(
-    spec: DatasetSpec,
+    spec,
     k: int,
     p: int,
     grid: Optional[Tuple[int, int]] = None,
@@ -135,20 +158,22 @@ def hpc_breakdown(
     """Per-iteration, per-task predicted seconds for Algorithm 3 on a grid.
 
     ``grid=None`` applies the paper's grid-selection rule; pass ``(p, 1)`` for
-    the HPC-NMF-1D variant the paper benchmarks.
+    the HPC-NMF-1D variant the paper benchmarks.  ``spec`` is coerced like in
+    :func:`naive_breakdown`.
     """
+    problem = as_problem(spec, k)
     machine = machine or edison_machine()
     coll = machine.collectives()
-    m, n = spec.m, spec.n
+    m, n = problem.m, problem.n
     if grid is None:
         grid = choose_grid(m, n, p)
     pr, pc = grid
     if pr * pc != p:
         raise ValueError(f"grid {pr}x{pc} does not match p={p}")
 
-    mm = _mm_seconds(spec, machine, k, p)
+    mm = _mm_seconds(problem, machine, k, p)
     gram = machine.gram_seconds((m + n) * k**2 / p)
-    nls = _nls_seconds(spec, machine, k, p)
+    nls = _nls_seconds(problem, machine, k, p)
 
     # Lines 4 and 10: two all-reduces of the k×k Gram matrices over all p ranks.
     all_reduce = 2.0 * coll.all_reduce(p, k * k)
@@ -171,20 +196,76 @@ def hpc_breakdown(
     )
 
 
+# ---------------------------------------------------------------------------
+# per-variant communication volume (the words Table 2 bounds)
+# ---------------------------------------------------------------------------
+
+def naive_words_per_iteration(spec, k: int, p: int) -> float:
+    """Critical-path words one rank moves per Naive iteration.
+
+    Two all-gathers of the full factors: ``(p-1)/p · (m+n)k`` — the ledger
+    convention of :class:`~repro.comm.cost.CostLedger`.
+    """
+    problem = as_problem(spec, k)
+    if p <= 1:
+        return 0.0
+    return (p - 1) / p * (problem.m + problem.n) * k
+
+
+def hpc_words_per_iteration(
+    spec, k: int, p: int, grid: Optional[Tuple[int, int]] = None
+) -> float:
+    """Critical-path words one rank moves per HPC-NMF iteration on a grid.
+
+    The §5 expression in ledger convention: the factor all-gathers and
+    reduce-scatters move ``(pr-1)/pr · nk/pc + (pc-1)/pc · mk/pr`` words
+    each, and the two ``k²`` all-reduces move ``2·(p-1)/p·k²`` each.
+    """
+    problem = as_problem(spec, k)
+    if p <= 1:
+        return 0.0
+    if grid is None:
+        grid = choose_grid(problem.m, problem.n, p)
+    pr, pc = grid
+    if pr * pc != p:
+        raise ValueError(f"grid {pr}x{pc} does not match p={p}")
+    factor_words = 0.0
+    if pr > 1:
+        factor_words += (pr - 1) / pr * problem.n * k / pc
+    if pc > 1:
+        factor_words += (pc - 1) / pc * problem.m * k / pr
+    all_reduce_words = 2.0 * (p - 1) / p * k * k
+    # ×2: each factor's all-gather has a mirroring reduce-scatter (and there
+    # are two all-reduces), exactly as the CostLedger records them.
+    return 2.0 * factor_words + 2.0 * all_reduce_words
+
+
 def predicted_breakdown(
-    variant: AlgorithmVariant,
-    spec: DatasetSpec,
+    variant,
+    spec,
     k: int,
     p: int,
     machine: Optional[MachineSpec] = None,
 ) -> TimeBreakdown:
-    """Dispatch to the right closed form for an algorithm variant."""
-    variant = AlgorithmVariant(variant)
-    if variant == AlgorithmVariant.NAIVE:
-        return naive_breakdown(spec, k, p, machine=machine)
-    if variant == AlgorithmVariant.HPC_1D:
-        return hpc_breakdown(spec, k, p, grid=(p, 1), machine=machine)
-    return hpc_breakdown(spec, k, p, grid=None, machine=machine)
+    """Predicted per-iteration breakdown of a registered variant.
+
+    ``variant`` is a variant registry name (the deprecated
+    ``AlgorithmVariant`` enum members still work — their values *are* the
+    registry names).  Dispatch goes through the variant registry's per-variant
+    cost hooks, the same unification the execution path uses: no if/elif
+    dispatch table here.
+    """
+    from repro.core.variants import get_variant
+
+    name = str(getattr(variant, "value", variant)).lower()
+    problem = as_problem(spec, k)
+    breakdown = get_variant(name).predicted_breakdown(problem, p, machine=machine)
+    if breakdown is None:
+        raise ValueError(
+            f"variant {name!r} does not expose an analytic cost model "
+            "(Variant.predicted_breakdown returned None)"
+        )
+    return breakdown
 
 
 # ---------------------------------------------------------------------------
@@ -222,3 +303,51 @@ def table2_costs(m: int, n: int, k: int, p: int) -> dict:
             "memory": m * n / p + (m + n) * k / p,
         },
     }
+
+
+# ---------------------------------------------------------------------------
+# deprecated alias (pre-registry variant taxonomy)
+# ---------------------------------------------------------------------------
+
+_algorithm_variant_enum = None
+
+
+def _deprecated_algorithm_variant():
+    """Build (once) the legacy enum; its values are the registry names."""
+    global _algorithm_variant_enum
+    if _algorithm_variant_enum is None:
+
+        class AlgorithmVariant(str, enum.Enum):
+            """Deprecated: the three paper variants, now variant registry names."""
+
+            NAIVE = "naive"
+            HPC_1D = "hpc1d"
+            HPC_2D = "hpc2d"
+
+            @property
+            def label(self) -> str:
+                from repro.core.variants import get_variant
+
+                return get_variant(self.value).label
+
+        _algorithm_variant_enum = AlgorithmVariant
+    return _algorithm_variant_enum
+
+
+def __getattr__(name: str):
+    """Deprecation shim: ``AlgorithmVariant`` lives on as a warned alias.
+
+    The enum duplicated the variant registry's taxonomy; new code passes
+    registry names (``"naive"``, ``"hpc1d"``, ``"hpc2d"``) directly.  This
+    mirrors the ``nmf``/``parallel_nmf`` shim convention.
+    """
+    if name == "AlgorithmVariant":
+        warnings.warn(
+            "repro.perf.model.AlgorithmVariant is deprecated; pass variant "
+            "registry names ('naive', 'hpc1d', 'hpc2d') instead — see "
+            "repro.core.variants.available_variants()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return _deprecated_algorithm_variant()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

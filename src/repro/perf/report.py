@@ -39,7 +39,7 @@ def render_breakdown_table(result: ExperimentResult, x_axis: str = "k") -> str:
     rows: List[List[str]] = []
     for pt in result.points:
         x_value = getattr(pt, x_axis)
-        row = [pt.variant.label, str(x_value)]
+        row = [pt.variant_label, str(x_value)]
         row += [f"{pt.breakdown.get(c):.4f}" for c in CATEGORY_ORDER]
         row += [f"{pt.total:.4f}"]
         rows.append(row)
@@ -55,7 +55,7 @@ def to_csv(result: ExperimentResult) -> str:
     headers = ["dataset", "variant", "k", "p", "mode"] + [c.value for c in CATEGORY_ORDER] + ["total"]
     buffer.write(",".join(headers) + "\n")
     for pt in result.points:
-        cells = [pt.dataset, pt.variant.value, str(pt.k), str(pt.p), pt.mode]
+        cells = [pt.dataset, pt.variant, str(pt.k), str(pt.p), pt.mode]
         cells += [f"{pt.breakdown.get(c):.6g}" for c in CATEGORY_ORDER]
         cells += [f"{pt.total:.6g}"]
         buffer.write(",".join(cells) + "\n")

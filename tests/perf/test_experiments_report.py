@@ -6,12 +6,12 @@ from repro.perf.experiments import (
     MEASURED_CORE_COUNTS,
     PAPER_CORE_COUNTS,
     PAPER_RANKS,
+    PAPER_VARIANTS,
     comparison_vs_k,
     measured_breakdown,
     strong_scaling,
     table3_grid,
 )
-from repro.perf.model import AlgorithmVariant
 from repro.perf.report import render_breakdown_table, render_table3, to_csv
 from repro.data.registry import measured_scale
 
@@ -20,13 +20,13 @@ class TestModeledDrivers:
     def test_comparison_produces_all_points(self):
         result = comparison_vs_k("SSYN", mode="modeled")
         assert len(result.points) == 3 * len(PAPER_RANKS)
-        assert {pt.variant for pt in result.points} == set(AlgorithmVariant)
+        assert {pt.variant for pt in result.points} == set(PAPER_VARIANTS)
         assert all(pt.p == 600 for pt in result.points)
         assert all(pt.total > 0 for pt in result.points)
 
     def test_comparison_totals_increase_with_k(self):
         result = comparison_vs_k("DSYN", mode="modeled")
-        for variant in AlgorithmVariant:
+        for variant in PAPER_VARIANTS:
             totals = [pt.total for pt in result.for_variant(variant)]
             assert totals == sorted(totals)
 
@@ -38,12 +38,12 @@ class TestModeledDrivers:
 
     def test_scaling_totals_decrease_with_cores_for_hpc2d(self):
         result = strong_scaling("SSYN", mode="modeled")
-        totals = [pt.total for pt in result.for_variant(AlgorithmVariant.HPC_2D)]
+        totals = [pt.total for pt in result.for_variant("hpc2d")]
         assert totals == sorted(totals, reverse=True)
 
     def test_speedup_helper(self):
         result = comparison_vs_k("SSYN", mode="modeled")
-        speedups = result.speedup(AlgorithmVariant.NAIVE, AlgorithmVariant.HPC_2D)
+        speedups = result.speedup("naive", "hpc2d")
         assert len(speedups) == len(PAPER_RANKS)
         assert all(v > 1.0 for v in speedups.values())
 
@@ -65,7 +65,7 @@ class TestModeledDrivers:
 class TestMeasuredDrivers:
     def test_measured_breakdown_runs_a_real_factorization(self):
         spec = measured_scale("SSYN")
-        breakdown = measured_breakdown(spec, AlgorithmVariant.HPC_2D, k=4, n_ranks=2, iterations=2)
+        breakdown = measured_breakdown(spec, "hpc2d", k=4, n_ranks=2, iterations=2)
         assert breakdown.total > 0
         assert breakdown.get("NLS") > 0
 
@@ -75,7 +75,7 @@ class TestMeasuredDrivers:
             mode="measured",
             ks=[2, 4],
             cores=2,
-            variants=[AlgorithmVariant.NAIVE, AlgorithmVariant.HPC_2D],
+            variants=["naive", "hpc2d"],
             measured_iterations=2,
         )
         assert len(result.points) == 4

@@ -1,0 +1,56 @@
+"""Property tests: one source of truth for the §4.3 flop formulas.
+
+``core/local_ops.matmul_flops`` (what the kernels report) and
+``perf/model.dense_flops_per_iteration`` / ``sparse_flops_per_iteration``
+(what the analytic model charges) used to encode the same formulas
+independently; now the model derives its per-iteration counts from the
+local-ops primitives.  These tests pin the agreement on random shapes: one
+iteration does two local multiplies, so the per-iteration count at ``p``
+processes must equal ``2 · matmul_flops(block, k) / p`` exactly.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.local_ops import (
+    dense_matmul_flops,
+    matmul_flops,
+    sparse_matmul_flops,
+)
+from repro.perf.model import dense_flops_per_iteration, sparse_flops_per_iteration
+
+
+@given(
+    m=st.integers(1, 400),
+    n=st.integers(1, 300),
+    k=st.integers(1, 60),
+    p=st.integers(1, 64),
+)
+@settings(max_examples=50, deadline=None)
+def test_dense_per_iteration_is_two_local_matmuls(m, n, k, p):
+    block = np.broadcast_to(0.0, (m, n))  # matmul_flops only reads the shape
+    assert dense_flops_per_iteration(m, n, k, p) == 2.0 * matmul_flops(block, k) / p
+    assert matmul_flops(block, k) == dense_matmul_flops(m, n, k) == 2.0 * m * n * k
+
+
+@given(
+    m=st.integers(2, 80),
+    n=st.integers(2, 80),
+    k=st.integers(1, 40),
+    p=st.integers(1, 64),
+    density=st.floats(0.01, 0.5),
+    seed=st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=25, deadline=None)
+def test_sparse_per_iteration_counts_actual_nonzeros(m, n, k, p, density, seed):
+    A = sp.random(m, n, density=density, format="csr", random_state=seed)
+    assert sparse_flops_per_iteration(A.nnz, k, p) == 2.0 * matmul_flops(A, k) / p
+    assert matmul_flops(A, k) == sparse_matmul_flops(A.nnz, k) == 2.0 * A.nnz * k
+
+
+def test_sparse_block_charges_nnz_not_dimensions():
+    A = sp.csr_matrix(([1.0], ([0], [0])), shape=(100, 100))
+    assert matmul_flops(A, 10) == pytest.approx(2.0 * 1 * 10)

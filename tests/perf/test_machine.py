@@ -1,9 +1,11 @@
 """Tests for the machine model presets and kernel-efficiency accounting."""
 
+import math
+
 import pytest
 
 from repro.comm.cost import EDISON, LAPTOP
-from repro.perf.machine import EDISON_NODE, MachineSpec, edison_machine
+from repro.perf.machine import EDISON_NODE, MachineSpec, edison_machine, laptop_machine
 
 
 def test_edison_per_core_peak_matches_node_spec():
@@ -51,3 +53,32 @@ def test_collectives_helper_bound_to_network():
     machine = edison_machine()
     coll = machine.collectives()
     assert coll.machine is EDISON
+
+
+def test_laptop_machine_factory():
+    machine = laptop_machine()
+    assert machine.network is LAPTOP
+    assert machine.name == "laptop"
+
+
+class TestCalibrate:
+    def test_calibrated_constants_are_physical(self):
+        machine = MachineSpec.calibrate(size=96, repeats=1)
+        net = machine.network
+        assert machine.name == "local-calibrated"
+        for constant in (net.alpha, net.beta, net.gamma):
+            assert math.isfinite(constant) and constant > 0
+        # gamma reflects an achieved GEMM, so no extra efficiency discount;
+        # the kernel-shape efficiencies keep their defaults, per the docstring.
+        assert machine.dense_mm_efficiency == 1.0
+        defaults = MachineSpec(network=machine.network)
+        assert machine.gram_efficiency == defaults.gram_efficiency
+        assert machine.sparse_mm_efficiency == defaults.sparse_mm_efficiency
+        assert machine.nls_efficiency == defaults.nls_efficiency
+        # Sanity bracket: any host runs a dense GEMM between 10 Mflop/s and
+        # 10 Tflop/s per core.
+        assert 1e7 < net.flops_per_second < 1e13
+
+    def test_calibration_does_not_change_the_default(self):
+        MachineSpec.calibrate(size=64, repeats=1)
+        assert edison_machine().network is EDISON

@@ -7,15 +7,17 @@ import pytest
 from repro.data.registry import paper_scale
 from repro.perf.machine import edison_machine
 from repro.perf.model import (
-    AlgorithmVariant,
     bpp_flops,
     dense_flops_per_iteration,
     hpc_breakdown,
+    hpc_words_per_iteration,
     naive_breakdown,
+    naive_words_per_iteration,
     predicted_breakdown,
     sparse_flops_per_iteration,
     table2_costs,
 )
+from repro.plan.problem import ProblemSpec
 
 
 @pytest.fixture(scope="module")
@@ -71,12 +73,39 @@ class TestBreakdowns:
 
     def test_dispatch_by_variant(self, machine):
         spec = paper_scale("SSYN")
-        assert predicted_breakdown(AlgorithmVariant.NAIVE, spec, 10, 24, machine).get(
+        assert predicted_breakdown("naive", spec, 10, 24, machine).get(
             "AllReduce"
         ) == 0.0
-        b1d = predicted_breakdown(AlgorithmVariant.HPC_1D, spec, 10, 24, machine)
-        b2d = predicted_breakdown(AlgorithmVariant.HPC_2D, spec, 10, 24, machine)
+        b1d = predicted_breakdown("hpc1d", spec, 10, 24, machine)
+        b2d = predicted_breakdown("hpc2d", spec, 10, 24, machine)
         assert b2d.communication <= b1d.communication
+
+    def test_dispatch_rejects_unmodeled_variant(self, machine):
+        with pytest.raises(ValueError, match="cost model"):
+            predicted_breakdown("streaming", paper_scale("SSYN"), 10, 24, machine)
+
+    def test_breakdowns_accept_problem_specs(self, machine):
+        # The DatasetSpec adapter and a raw ProblemSpec must price identically.
+        spec = paper_scale("DSYN")
+        problem = ProblemSpec.from_dataset(spec, 50)
+        via_dataset = hpc_breakdown(spec, 50, 600, machine=machine)
+        via_problem = hpc_breakdown(problem, 50, 600, machine=machine)
+        assert via_dataset.as_dict() == via_problem.as_dict()
+
+    def test_words_per_iteration_match_section5(self):
+        # Naive: (p-1)/p (m+n)k; HPC on (pr, pc): the §5 expression in
+        # ledger convention (factor collectives twice, all-reduce 2x2 k²).
+        m, n, k, p = 1200, 800, 10, 6
+        problem = ProblemSpec(m=m, n=n, k=k)
+        assert naive_words_per_iteration(problem, k, p) == pytest.approx(
+            (p - 1) / p * (m + n) * k
+        )
+        pr, pc = 3, 2
+        expected = 2.0 * (
+            (pr - 1) / pr * n * k / pc + (pc - 1) / pc * m * k / pr
+        ) + 4.0 * (p - 1) / p * k * k
+        assert hpc_words_per_iteration(problem, k, p, grid=(pr, pc)) == pytest.approx(expected)
+        assert naive_words_per_iteration(problem, k, 1) == 0.0
 
 
 class TestPaperShapeClaims:
@@ -133,6 +162,48 @@ class TestPaperShapeClaims:
         t600 = hpc_breakdown(spec, 50, 600, machine=machine).total
         assert t600 < t216
         assert t216 / t600 > 1.8  # paper: 2.7x over a 2.8x core increase
+
+
+class TestDeprecatedAlgorithmVariant:
+    """Satellite: the pre-registry enum survives as a warned alias."""
+
+    def test_import_warns_and_maps_to_registry_names(self):
+        import repro.perf.model as model
+
+        with pytest.warns(DeprecationWarning, match="AlgorithmVariant is deprecated"):
+            enum_cls = model.AlgorithmVariant
+        from repro.core.variants import available_variants
+
+        values = [member.value for member in enum_cls]
+        assert values == ["naive", "hpc1d", "hpc2d"]
+        assert set(values) <= set(available_variants())
+
+    def test_package_level_alias_forwards(self):
+        import repro.perf as perf
+
+        with pytest.warns(DeprecationWarning):
+            enum_cls = perf.AlgorithmVariant
+        assert enum_cls.HPC_2D.value == "hpc2d"
+
+    def test_labels_come_from_the_registry(self):
+        import repro.perf.model as model
+
+        with pytest.warns(DeprecationWarning):
+            enum_cls = model.AlgorithmVariant
+        from repro.core.variants import get_variant
+
+        for member in enum_cls:
+            assert member.label == get_variant(member.value).label
+
+    def test_members_still_work_in_the_dispatcher(self, machine):
+        import repro.perf.model as model
+
+        with pytest.warns(DeprecationWarning):
+            enum_cls = model.AlgorithmVariant
+        spec = paper_scale("SSYN")
+        legacy = predicted_breakdown(enum_cls.HPC_2D, spec, 10, 24, machine)
+        modern = predicted_breakdown("hpc2d", spec, 10, 24, machine)
+        assert legacy.as_dict() == modern.as_dict()
 
 
 class TestTable2:

@@ -1,0 +1,165 @@
+"""Tests for the planner: candidate enumeration, optimality, tie-breaking.
+
+The optimality properties are the §5 claims turned into assertions: the
+chosen grid must be the brute-force argmin of the modeled cost over *all*
+factorizations of ``p``, and in the tall-and-skinny regime ``m ≫ n`` the
+argmin collapses to the paper's 1D-like ``pr ≈ p`` grid.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm.grid import factor_pairs
+from repro.perf.machine import edison_machine
+from repro.perf.model import hpc_breakdown
+from repro.plan import (
+    ExecutionPlan,
+    ProblemSpec,
+    make_plan,
+    plan_candidates,
+    render_plan_table,
+)
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return edison_machine()
+
+
+class TestCandidateEnumeration:
+    def test_all_factorizations_plus_grid_free_variants(self, machine):
+        problem = ProblemSpec(m=5000, n=3000, k=10)
+        plans = plan_candidates(problem, 12, machine=machine)
+        hpc2d = [p for p in plans if p.variant == "hpc2d"]
+        assert len(hpc2d) == len(factor_pairs(12))
+        assert {p.grid for p in hpc2d} == set(factor_pairs(12))
+        assert sum(p.variant == "hpc1d" for p in plans) == 1
+        assert sum(p.variant == "naive" for p in plans) == 1
+        # Sequential cannot run on 12 ranks, so it must not be a candidate.
+        assert all(p.variant != "sequential" for p in plans)
+
+    def test_sorted_by_predicted_total(self, machine):
+        plans = plan_candidates(ProblemSpec(m=5000, n=3000, k=10), 12, machine=machine)
+        totals = [p.breakdown.total for p in plans]
+        assert totals == sorted(totals)
+
+    def test_variant_restriction(self, machine):
+        plans = plan_candidates(
+            ProblemSpec(m=5000, n=3000, k=10), 12, machine=machine, variants=["hpc1d"]
+        )
+        assert {p.variant for p in plans} == {"hpc1d"}
+
+    def test_grid_pinning_excludes_grid_free_variants(self, machine):
+        # A pinned grid is a constraint naive/sequential cannot honour, so
+        # only gridded candidates on exactly that grid survive.
+        plans = plan_candidates(
+            ProblemSpec(m=5000, n=3000, k=10), 12, machine=machine, grid=(3, 4)
+        )
+        assert plans
+        assert all(p.grid == (3, 4) for p in plans)
+
+    def test_pinned_grid_must_factor_p(self, machine):
+        with pytest.raises(ValueError, match="does not match p"):
+            plan_candidates(
+                ProblemSpec(m=5000, n=3000, k=10), 12, machine=machine, grid=(3, 3)
+            )
+
+    def test_unplannable_problem_raises(self, machine):
+        # streaming has no cost hook; restricting to it leaves nothing.
+        with pytest.raises(ValueError, match="no registered variant"):
+            plan_candidates(
+                ProblemSpec(m=100, n=50, k=3), 4, machine=machine, variants=["streaming"]
+            )
+
+    def test_invalid_rank_count(self, machine):
+        with pytest.raises(ValueError):
+            plan_candidates(ProblemSpec(m=10, n=10, k=2), 0, machine=machine)
+
+
+class TestOptimality:
+    @given(
+        m=st.integers(64, 50_000),
+        n=st.integers(64, 50_000),
+        k=st.integers(2, 64),
+        p=st.sampled_from([2, 4, 6, 8, 12, 16, 24, 36, 60]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_chosen_grid_is_brute_force_argmin(self, m, n, k, p):
+        machine = edison_machine()
+        problem = ProblemSpec(m=m, n=n, k=k)
+        plan = make_plan(problem, p, machine=machine, variants=["hpc2d"])
+        brute_force = min(
+            hpc_breakdown(problem, k, p, grid=grid, machine=machine).total
+            for grid in factor_pairs(p)
+        )
+        assert plan.breakdown.total == pytest.approx(brute_force, rel=1e-12)
+
+    @given(
+        n=st.integers(8, 200),
+        k=st.integers(2, 16),
+        p=st.sampled_from([2, 4, 8, 16, 32]),
+        aspect=st.integers(2, 50),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_tall_skinny_converges_to_1d_regime(self, n, k, p, aspect):
+        # m ≫ n (beyond the m/p > n threshold): within the HPC family, §5
+        # prescribes pr = p, pc = 1, and the cost argmin must agree.
+        m = aspect * p * n + 1
+        plan = make_plan(
+            ProblemSpec(m=m, n=n, k=k), p, machine=edison_machine(), variants=["hpc2d"]
+        )
+        assert plan.grid == (p, 1)
+
+    def test_large_tall_skinny_full_planner_goes_1d_hpc(self, machine):
+        # At paper-like sizes (bandwidth-dominated, not latency-dominated)
+        # the unrestricted planner also picks HPC on the 1D grid; tiny
+        # problems may legitimately fall back to naive (fewer collectives).
+        problem = ProblemSpec(m=1_000_000, n=2_400, k=50)  # Video-like shape
+        plan = make_plan(problem, 16, machine=machine)
+        assert plan.variant == "hpc2d"
+        assert plan.grid == (16, 1)
+
+    def test_single_rank_ties_resolve_to_sequential(self, machine):
+        # At p = 1 every modeled candidate costs the same; the planner must
+        # prefer the simplest execution.
+        plan = make_plan(ProblemSpec(m=400, n=300, k=5), 1, machine=machine)
+        assert plan.variant == "sequential"
+        assert plan.grid is None
+        assert plan.words_per_iteration == 0.0
+
+    def test_squarish_problem_prefers_2d_over_1d_and_naive(self, machine):
+        problem = ProblemSpec(m=20_000, n=20_000, k=50, nnz=4e6)
+        plan = make_plan(problem, 36, machine=machine)
+        assert plan.variant == "hpc2d"
+        pr, pc = plan.grid
+        assert pr > 1 and pc > 1  # genuinely 2D, per the §5 square rule
+
+
+class TestExecutionPlan:
+    def test_round_trips_through_dict(self, machine):
+        plan = make_plan(ProblemSpec(m=900, n=300, k=8, name="toy"), 6, machine=machine)
+        restored = ExecutionPlan.from_dict(plan.to_dict())
+        assert restored == plan
+
+    def test_summary_names_the_choice(self, machine):
+        plan = make_plan(ProblemSpec(m=900, n=300, k=8), 6, machine=machine)
+        text = plan.summary()
+        assert plan.variant in text
+        assert "s/iter" in text
+        assert machine.name in text
+
+
+class TestRenderPlanTable:
+    def test_table_contains_all_candidates_and_star(self, machine):
+        plans = plan_candidates(ProblemSpec(m=5000, n=3000, k=10), 12, machine=machine)
+        text = render_plan_table(plans)
+        assert text.splitlines()[0].startswith("Execution plan candidates")
+        assert "*" in text
+        assert "words/iter" in text
+        for variant in ("hpc2d", "hpc1d", "naive"):
+            assert variant in text
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            render_plan_table([])

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -65,6 +67,74 @@ def test_variants_command_lists_registry(capsys):
     for name in available_variants():
         assert name in out
     assert "parallelizable" in out
+
+
+def test_version_flag_matches_pyproject(capsys):
+    import tomllib
+
+    import repro
+
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    out = capsys.readouterr().out
+    assert repro.__version__ in out
+
+    pyproject = Path(repro.__file__).resolve().parents[2] / "pyproject.toml"
+    declared = tomllib.loads(pyproject.read_text())["project"]["version"]
+    assert declared == repro.__version__, (
+        "pyproject.toml and repro.__version__ drifted apart"
+    )
+
+
+def test_plan_dataset_alias(capsys):
+    assert main(["plan", "SSYN"]) == 0
+    out = capsys.readouterr().out
+    assert out.startswith("Execution plan candidates")
+    assert "ssyn-paper" in out
+    assert "hpc2d" in out and "hpc1d" in out and "naive" in out
+    assert "* chosen:" in out
+
+
+def test_plan_registered_dataset_name(capsys):
+    assert main(["plan", "video-small", "-k", "4", "--ranks", "4"]) == 0
+    assert "video-small" in capsys.readouterr().out
+
+
+def test_plan_adhoc_shape_tall_skinny(capsys):
+    assert main([
+        "plan", "--shape", "20000", "200", "--density", "0.01",
+        "--ranks", "16", "-k", "10",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "20000x200" in out and "sparse" in out
+    # m/p = 1250 > n = 200: the chosen grid must be the paper's 1D regime.
+    assert "grid=16x1" in out
+
+
+def test_plan_requires_dataset_or_shape():
+    with pytest.raises(SystemExit, match="--shape"):
+        main(["plan"])
+
+
+def test_plan_rejects_dataset_and_shape_together():
+    with pytest.raises(SystemExit, match="not both"):
+        main(["plan", "SSYN", "--shape", "10", "10"])
+
+
+def test_plan_rejects_density_without_shape():
+    with pytest.raises(SystemExit, match="--density"):
+        main(["plan", "SSYN", "--density", "0.5"])
+
+
+def test_plan_unknown_dataset_errors():
+    with pytest.raises(SystemExit, match="not a registered dataset"):
+        main(["plan", "no-such-dataset"])
+
+
+def test_plan_nonpositive_ranks_errors():
+    with pytest.raises(SystemExit, match="ranks"):
+        main(["plan", "SSYN", "--ranks", "0"])
 
 
 def test_experiment_comparison_modeled(capsys, tmp_path):
