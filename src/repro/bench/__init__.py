@@ -1,0 +1,24 @@
+"""Recorded performance baselines (see :mod:`repro.bench.baseline`).
+
+Run ``python -m repro.bench`` (or ``repro bench``) to measure the
+Figure-3-style panels on this host and write a ``BENCH_*.json`` artifact;
+pass ``--check`` to gate against a committed baseline's speedup floors.
+"""
+
+from repro.bench.baseline import (
+    SCALES,
+    check_baseline,
+    load_baseline,
+    render_baseline,
+    run_baseline,
+    write_baseline,
+)
+
+__all__ = [
+    "SCALES",
+    "check_baseline",
+    "load_baseline",
+    "render_baseline",
+    "run_baseline",
+    "write_baseline",
+]

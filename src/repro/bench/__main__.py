@@ -1,0 +1,77 @@
+"""CLI for the benchmark-baseline writer: ``python -m repro.bench``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro.bench.baseline import (
+    SCALES,
+    check_baseline,
+    load_baseline,
+    render_baseline,
+    run_baseline,
+    write_baseline,
+)
+
+
+def add_bench_arguments(parser: argparse.ArgumentParser) -> argparse.ArgumentParser:
+    """Attach the baseline-writer options (shared with ``repro bench``)."""
+    parser.add_argument("--scale", default="tiny", choices=sorted(SCALES))
+    parser.add_argument("-p", "--ranks", type=int, default=4,
+                        help="SPMD ranks for the parallel runs (default 4)")
+    parser.add_argument("--backends", nargs="+", default=["thread", "process"],
+                        help="backends to measure (default: thread process)")
+    parser.add_argument("--variant", default="hpc2d")
+    parser.add_argument("--panels", nargs="+", default=["dense", "sparse"],
+                        choices=["dense", "sparse"])
+    parser.add_argument("--repeats", type=int, default=2,
+                        help="best-of repeats per configuration (default 2)")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--out", default="benchmarks/results",
+                        help="directory for the BENCH_*.json artifact")
+    parser.add_argument("--label", default=None,
+                        help="artifact label (default <scale>_p<ranks>)")
+    parser.add_argument("--check", default=None, metavar="BASELINE_JSON",
+                        help="fail (exit 1) if a speedup falls below this "
+                             "committed baseline's floors")
+    return parser
+
+
+def build_parser() -> argparse.ArgumentParser:
+    return add_bench_arguments(argparse.ArgumentParser(
+        prog="repro.bench",
+        description="measure the Fig-3-style benchmark panels and write BENCH_*.json",
+    ))
+
+
+def main(argv=None, args: Optional[argparse.Namespace] = None) -> int:
+    if args is None:
+        args = build_parser().parse_args(argv)
+    payload = run_baseline(
+        scale=args.scale,
+        p=args.ranks,
+        backends=tuple(args.backends),
+        variant=args.variant,
+        panels=tuple(args.panels),
+        repeats=args.repeats,
+        seed=args.seed,
+    )
+    path = write_baseline(payload, args.out, label=args.label)
+    print(render_baseline(payload))
+    print(f"\nartifact written to {path}")
+    if args.check:
+        failures, skipped = check_baseline(payload, load_baseline(args.check))
+        for note in skipped:
+            print(f"SKIPPED: {note}")
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print(f"baseline check passed against {args.check}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,216 @@
+"""The benchmark-baseline writer: the repo's recorded performance trajectory.
+
+The paper's evaluation (§6, Figure 3) is a grid of *measured* panels —
+algorithm × processor count × dataset — and until now this reproduction only
+ever verified the communication *structure* of those runs.  With the
+``"process"`` backend the ranks genuinely run concurrently, so wall-clock
+speedups are finally observable; this module measures them and writes the
+result as a ``BENCH_*.json`` artifact:
+
+* :func:`run_baseline` runs Figure-3-style panels (a dense DSYN-like and a
+  sparse SSYN-like synthetic problem) for ``variant × backend × grid`` and
+  records wall seconds, iterations/second and speedups — each parallel
+  configuration against the sequential reference, and ``process`` against
+  ``thread`` (the headline number: what escaping the GIL buys);
+* :func:`write_baseline` serializes that payload as ``BENCH_<scale>_p<p>.json``;
+* :func:`check_baseline` compares a fresh measurement against a committed
+  baseline's ``floors`` and reports regressions — CI runs it on every push,
+  skipping (loudly) any floor whose ``requires_cpus`` exceeds the host, so a
+  1-core laptop doesn't fail a 4-rank speedup gate it cannot physically meet.
+
+Scales are deliberately small (seconds, not minutes): the point is a
+*trajectory* — a number CI re-measures on every change — not a paper-scale
+reproduction, which stays in ``benchmarks/``.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.comm.backends.process import available_cpus
+
+#: Problem sizes per scale.  Chosen so the *tiny* dense panel is dominated by
+#: the pure-Python BPP solves (the GIL-bound work the process backend
+#: parallelizes) rather than by fork/shared-memory setup: at
+#: ``1024 × 768, k = 12`` the NLS task is ~60% of per-rank time.
+SCALES: Dict[str, Dict[str, Dict[str, float]]] = {
+    "tiny": {
+        "dense": {"m": 1024, "n": 768, "k": 12, "iters": 20, "density": 1.0},
+        "sparse": {"m": 1500, "n": 1000, "k": 10, "iters": 8, "density": 0.05},
+    },
+    "small": {
+        "dense": {"m": 2048, "n": 1536, "k": 16, "iters": 12, "density": 1.0},
+        "sparse": {"m": 4000, "n": 3000, "k": 12, "iters": 10, "density": 0.02},
+    },
+}
+
+SCHEMA_VERSION = 1
+
+
+def _panel_matrix(panel: str, spec: Dict[str, float], seed: int):
+    if panel == "dense":
+        from repro.data.lowrank import planted_lowrank
+
+        return planted_lowrank(
+            int(spec["m"]), int(spec["n"]), int(spec["k"]), seed=seed, noise_std=0.05
+        )
+    import scipy.sparse as sp
+
+    return sp.random(
+        int(spec["m"]), int(spec["n"]), density=float(spec["density"]),
+        random_state=seed, format="csr",
+    )
+
+
+def _timed_fit(A, k: int, iters: int, seed: int, repeats: int, **kwargs) -> Tuple[float, object]:
+    """Best-of-``repeats`` wall seconds for one full ``fit`` (and its result)."""
+    from repro.core.api import fit
+
+    best, result = float("inf"), None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        res = fit(A, k, max_iters=iters, seed=seed, **kwargs)
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best, result = elapsed, res
+    return best, result
+
+
+def run_baseline(
+    scale: str = "tiny",
+    p: int = 4,
+    backends: Sequence[str] = ("thread", "process"),
+    variant: str = "hpc2d",
+    panels: Sequence[str] = ("dense", "sparse"),
+    repeats: int = 2,
+    seed: int = 7,
+) -> dict:
+    """Measure the Figure-3-style panels and return the baseline payload.
+
+    Every panel runs the sequential reference once (the speedup denominator)
+    and then ``variant`` on ``p`` ranks once per backend.  The headline
+    ``speedups`` map carries ``<panel>:process_vs_thread`` whenever both
+    backends were measured — the number the committed baseline puts a floor
+    under.
+    """
+    if scale not in SCALES:
+        raise ValueError(f"unknown scale {scale!r}; known: {sorted(SCALES)}")
+
+    payload: dict = {
+        "schema": SCHEMA_VERSION,
+        "created": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "scale": scale,
+        "p": p,
+        "variant": variant,
+        "repeats": repeats,
+        "cpu_count": available_cpus(),
+        "python": platform.python_version(),
+        "panels": [],
+        "speedups": {},
+    }
+    for panel in panels:
+        spec = SCALES[scale][panel]
+        k, iters = int(spec["k"]), int(spec["iters"])
+        A = _panel_matrix(panel, spec, seed)
+        seq_wall, _ = _timed_fit(A, k, iters, seed, repeats, variant="sequential")
+        rows: List[dict] = [{
+            "variant": "sequential", "backend": None, "grid": None, "p": 1,
+            "wall_s": seq_wall, "iters_per_s": iters / seq_wall,
+            "speedup_vs_sequential": 1.0,
+        }]
+        by_backend: Dict[str, float] = {}
+        for backend in backends:
+            wall, res = _timed_fit(
+                A, k, iters, seed, repeats,
+                variant=variant, n_ranks=p, backend=backend,
+            )
+            by_backend[backend] = wall
+            rows.append({
+                "variant": variant, "backend": backend,
+                "grid": list(res.grid_shape) if res.grid_shape else None, "p": p,
+                "wall_s": wall, "iters_per_s": iters / wall,
+                "speedup_vs_sequential": seq_wall / wall,
+            })
+        payload["panels"].append({
+            "panel": panel,
+            "m": int(spec["m"]), "n": int(spec["n"]), "k": k, "iters": iters,
+            "density": float(spec["density"]),
+            "rows": rows,
+        })
+        if "thread" in by_backend and "process" in by_backend:
+            payload["speedups"][f"{panel}:process_vs_thread"] = (
+                by_backend["thread"] / by_backend["process"]
+            )
+        for backend, wall in by_backend.items():
+            payload["speedups"][f"{panel}:{backend}_vs_sequential"] = seq_wall / wall
+    return payload
+
+
+def write_baseline(payload: dict, out_dir, label: Optional[str] = None) -> Path:
+    """Write ``payload`` as ``BENCH_<label>.json`` under ``out_dir``."""
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    label = label or f"{payload['scale']}_p{payload['p']}"
+    path = out_dir / f"BENCH_{label}.json"
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_baseline(path) -> dict:
+    return json.loads(Path(path).read_text())
+
+
+def check_baseline(measured: dict, baseline: dict) -> Tuple[List[str], List[str]]:
+    """Compare ``measured`` speedups against ``baseline['floors']``.
+
+    Returns ``(failures, skipped)``: ``failures`` are human-readable
+    regression descriptions (empty = pass); ``skipped`` explains every floor
+    that was not enforced because the measuring host lacks the CPUs the
+    floor presumes (``requires_cpus``) — hardware-gated, never silently.
+    """
+    failures: List[str] = []
+    skipped: List[str] = []
+    cpus = int(measured.get("cpu_count") or 1)
+    for floor in baseline.get("floors", []):
+        metric, minimum = floor["metric"], float(floor["min"])
+        requires = int(floor.get("requires_cpus", 1))
+        if cpus < requires:
+            skipped.append(
+                f"{metric} >= {minimum:g} not enforced: needs {requires} CPUs, "
+                f"host has {cpus}"
+            )
+            continue
+        value = measured.get("speedups", {}).get(metric)
+        if value is None:
+            failures.append(f"{metric} missing from the measured payload")
+        elif value < minimum:
+            failures.append(
+                f"{metric} regressed: measured {value:.3g}, baseline floor {minimum:g}"
+            )
+    return failures, skipped
+
+
+def render_baseline(payload: dict) -> str:
+    """A compact human-readable table of the measured panels."""
+    lines = [
+        f"bench baseline: scale={payload['scale']} p={payload['p']} "
+        f"cpus={payload['cpu_count']} python={payload['python']}",
+        f"{'panel':>7}  {'variant':>10}  {'backend':>8}  {'grid':>6}  "
+        f"{'wall s':>8}  {'iters/s':>8}  {'speedup':>8}",
+    ]
+    for panel in payload["panels"]:
+        for row in panel["rows"]:
+            grid = "x".join(map(str, row["grid"])) if row["grid"] else "-"
+            lines.append(
+                f"{panel['panel']:>7}  {row['variant']:>10}  "
+                f"{row['backend'] or '-':>8}  {grid:>6}  {row['wall_s']:>8.3f}  "
+                f"{row['iters_per_s']:>8.2f}  {row['speedup_vs_sequential']:>8.2f}"
+            )
+    for metric, value in sorted(payload["speedups"].items()):
+        lines.append(f"  {metric} = {value:.3f}")
+    return "\n".join(lines)

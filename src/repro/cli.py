@@ -95,12 +95,18 @@ def _cmd_factorize(args: argparse.Namespace) -> int:
     return 0
 
 
-def _resolve_machine(name: str) -> MachineSpec:
+def _resolve_machine(name: str, ranks: int = 1) -> MachineSpec:
     if name == "edison":
         return edison_machine()
     if name == "laptop":
         return laptop_machine()
-    return MachineSpec.calibrate()
+    # "local": micro-benchmark this host.  When planning a parallel run,
+    # measure the per-rank GEMM rate under real contention (process backend)
+    # rather than extrapolating the single-rank rate — but never launch more
+    # probe processes than this process may actually use.
+    from repro.comm.backends.process import available_cpus
+
+    return MachineSpec.calibrate(ranks=max(1, min(ranks, available_cpus())))
 
 
 def _cmd_plan(args: argparse.Namespace) -> int:
@@ -140,7 +146,7 @@ def _cmd_plan(args: argparse.Namespace) -> int:
             raise SystemExit(str(exc)) from None
     else:
         raise SystemExit("pass a dataset name (e.g. SSYN) or --shape M N")
-    machine = _resolve_machine(args.machine)
+    machine = _resolve_machine(args.machine, ranks=args.ranks)
     plans = plan_candidates(problem, args.ranks, machine=machine)
     print(render_plan_table(plans))
     return 0
@@ -184,6 +190,12 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench.__main__ import main as bench_main
+
+    return bench_main(args=args)
+
+
 def _cmd_datasets(_args: argparse.Namespace) -> int:
     print(f"{'name':>16}  {'kind':>7}  {'m':>10}  {'n':>10}  {'nnz (est.)':>12}  description")
     for name in sorted(DATASETS):
@@ -215,8 +227,9 @@ def build_parser() -> argparse.ArgumentParser:
                            "(--algorithm is a deprecated alias)")
     fact.add_argument("--backend", default=None, choices=available_backends(),
                       help="SPMD execution backend (lockstep = deterministic, "
-                           "scales to hundreds of simulated ranks); ignored by "
-                           "sequential-only variants")
+                           "scales to hundreds of simulated ranks; process = "
+                           "one OS process per rank, true parallelism); "
+                           "ignored by sequential-only variants")
     fact.add_argument("--solver", default="bpp", choices=available_solvers(),
                       help="local NLS solver by registry name")
     fact.add_argument("--iters", type=int, default=20, help="outer iterations")
@@ -266,6 +279,16 @@ def build_parser() -> argparse.ArgumentParser:
                      help="SPMD execution backend for measured mode")
     exp.add_argument("--csv", help="also write the series to this CSV path")
     exp.set_defaults(func=_cmd_experiment)
+
+    from repro.bench.__main__ import add_bench_arguments
+
+    bench = sub.add_parser(
+        "bench",
+        help="measure the benchmark baseline panels and write BENCH_*.json "
+             "(same options as python -m repro.bench)",
+    )
+    add_bench_arguments(bench)
+    bench.set_defaults(func=_cmd_bench)
 
     data = sub.add_parser("datasets", help="list registered datasets")
     data.set_defaults(func=_cmd_datasets)

@@ -1,30 +1,26 @@
-"""Backwards-compatible alias for :mod:`repro.comm.backends`.
+"""Backwards-compatible alias for :mod:`repro.comm.backends` (deprecated).
 
 The execution substrate grew from a single hard-coded thread backend into the
 pluggable :mod:`repro.comm.backends` package (``"thread"``, ``"lockstep"``,
-and a registry for future multiprocessing/MPI backends).  This module keeps
-the original import path working::
+``"process"``, and a registry for future MPI-style backends).  This module
+keeps the original import path working::
 
     from repro.comm.backend import ThreadBackend, run_spmd
 
+but every attribute access now emits a :class:`DeprecationWarning` (the same
+module-``__getattr__`` convention as ``repro.perf.model.AlgorithmVariant``).
 New code should import from :mod:`repro.comm.backends` (or
 :mod:`repro.comm`) directly.
 """
 
-from repro.comm.backends import (
-    Backend,
-    LockstepBackend,
-    SharedGroupState,
-    ThreadBackend,
-    available_backends,
-    make_backend,
-    register_backend,
-    run_spmd,
-)
+from __future__ import annotations
+
+import warnings
 
 __all__ = [
     "Backend",
     "LockstepBackend",
+    "ProcessBackend",
     "SharedGroupState",
     "ThreadBackend",
     "available_backends",
@@ -32,3 +28,21 @@ __all__ = [
     "register_backend",
     "run_spmd",
 ]
+
+
+def __getattr__(name: str):
+    if name in __all__:
+        warnings.warn(
+            "repro.comm.backend is deprecated; import "
+            f"{name!r} from repro.comm.backends instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        import repro.comm.backends as backends
+
+        return getattr(backends, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__():
+    return sorted(__all__)

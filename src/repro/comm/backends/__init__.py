@@ -5,38 +5,49 @@ The parallel algorithms are written against
 substrate that actually runs the per-rank programs:
 
 * :mod:`~repro.comm.backends.base` — the :class:`Backend` interface, the
-  name → class registry and the :func:`run_spmd` entry point;
+  name → class registry (with per-backend capability flags) and the
+  :func:`run_spmd` entry point;
 * :mod:`~repro.comm.backends.thread` — ``"thread"``: one Python thread per
-  rank, real overlap wherever BLAS releases the GIL (the measured-benchmark
-  substrate);
+  rank, real overlap wherever BLAS releases the GIL;
 * :mod:`~repro.comm.backends.lockstep` — ``"lockstep"``: cooperative
   rank-ordered scheduling with at most one rank running at any instant —
-  deterministic, deadlock-diagnosing, and able to simulate hundreds of ranks.
+  deterministic, deadlock-diagnosing, and able to simulate hundreds of ranks;
+* :mod:`~repro.comm.backends.process` — ``"process"``: one OS process per
+  rank over shared-memory collectives — the only substrate whose ranks
+  escape the GIL, hence the measured-speedup substrate
+  (:mod:`repro.bench` records its trajectory).
 
 Select a backend by name anywhere downstream: ``NMFConfig(backend=...)``,
-``parallel_nmf(..., backend=...)``, or the CLI's ``--backend`` flag.
+``fit(..., backend=...)``, the CLI's ``--backend`` flag, or
+``$REPRO_BENCH_BACKEND`` for the benchmark harness.
 """
 
 from repro.comm.backends.base import (
+    CAPABILITY_FLAGS,
     Backend,
     PeerAbortError,
     SharedGroupState,
     available_backends,
+    backend_capabilities,
     get_backend_class,
     make_backend,
     register_backend,
     run_spmd,
 )
 from repro.comm.backends.lockstep import LockstepBackend
+from repro.comm.backends.process import ProcessBackend
 from repro.comm.backends.thread import ThreadBackend
 
 __all__ = [
     "Backend",
+    "CAPABILITY_FLAGS",
     "LockstepBackend",
     "PeerAbortError",
+    "ProcessBackend",
     "SharedGroupState",
     "ThreadBackend",
     "available_backends",
+    "backend_capabilities",
     "get_backend_class",
     "make_backend",
     "register_backend",

@@ -14,16 +14,25 @@ communicator only, so backends are interchangeable:
   at communication points — deterministic interleaving, deterministic
   deadlock detection, and no concurrent-thread pressure even at hundreds of
   simulated ranks.
+* ``"process"`` (:class:`~repro.comm.backends.process.ProcessBackend`) runs
+  one OS process per rank over shared-memory deposit slots — the only
+  backend whose ranks escape the GIL, so the only one that can measure real
+  parallel speedups.
 
-Third-party backends (multiprocessing, MPI, ...) plug in through
-:func:`register_backend`; everything downstream selects a backend by name
-(``NMFConfig.backend``, ``parallel_nmf(..., backend=...)``, the CLI's
-``--backend`` flag).
+Each backend class carries :data:`CAPABILITY_FLAGS` class attributes
+(``deterministic_schedule``, ``parallel_python``, ``cross_process``,
+``simulates_large_grids``) so callers — the CLI listing, the benchmark
+harness — can pick a substrate by property rather than by name.
+
+Third-party backends (MPI, ...) plug in through :func:`register_backend`;
+everything downstream selects a backend by name (``NMFConfig.backend``,
+``fit(..., backend=...)``, the CLI's ``--backend`` flag).
 """
 
 from __future__ import annotations
 
 import abc
+import difflib
 import queue
 import threading
 from dataclasses import dataclass
@@ -128,8 +137,14 @@ class SharedGroupState:
                 self._mailboxes[key] = box
             return box
 
-    def make_subgroup(self, size: int) -> "SharedGroupState":
-        """State for a sub-communicator of ``size`` ranks (used by ``Comm.split``)."""
+    def make_subgroup(self, size: int, members=None, reg_key=None) -> "SharedGroupState":
+        """State for a sub-communicator of ``size`` ranks (used by ``Comm.split``).
+
+        ``members`` (the subgroup's ranks, group-local to the parent) and
+        ``reg_key`` (the split's registry key) let cross-process states build
+        a globally agreed identity for the new group; in-process states need
+        neither.
+        """
         return SharedGroupState(size)
 
     def wait(self) -> None:
@@ -146,6 +161,15 @@ class SharedGroupState:
         self.barrier.abort()
 
 
+#: Capability flags every backend class declares (as class attributes).
+CAPABILITY_FLAGS: Tuple[str, ...] = (
+    "deterministic_schedule",  # rank interleaving is a pure function of the program
+    "parallel_python",         # ranks run Python bytecode concurrently (no GIL convoy)
+    "cross_process",           # ranks live in separate OS processes
+    "simulates_large_grids",   # hundreds of ranks are practical on one machine
+)
+
+
 class Backend(abc.ABC):
     """Executes an SPMD program on ``n_ranks`` ranks and collects results.
 
@@ -156,6 +180,17 @@ class Backend(abc.ABC):
     name:
         Optional label used in thread names and diagnostics.
     """
+
+    # Conservative defaults; subclasses override the flags they earn.
+    deterministic_schedule = False
+    parallel_python = False
+    cross_process = False
+    simulates_large_grids = False
+
+    @classmethod
+    def capabilities(cls) -> Dict[str, bool]:
+        """This backend's :data:`CAPABILITY_FLAGS` as a name → bool mapping."""
+        return {flag: bool(getattr(cls, flag)) for flag in CAPABILITY_FLAGS}
 
     def __init__(self, n_ranks: int, name: str = "spmd"):
         if n_ranks < 1:
@@ -215,14 +250,23 @@ def available_backends() -> List[str]:
     return sorted(_REGISTRY)
 
 
+def backend_capabilities(name: Optional[str] = None) -> Dict[str, Dict[str, bool]]:
+    """Capability flags by backend name (all backends, or just ``name``)."""
+    _ensure_builtin_backends()
+    names = [name] if name is not None else sorted(_REGISTRY)
+    return {n: get_backend_class(n).capabilities() for n in names}
+
+
 def get_backend_class(name: str) -> Type[Backend]:
     """Look up a backend class by registry name."""
     _ensure_builtin_backends()
     try:
         return _REGISTRY[name]
     except KeyError:
+        close = difflib.get_close_matches(str(name), list(_REGISTRY), n=1)
+        hint = f"did you mean {close[0]!r}? " if close else ""
         raise CommunicatorError(
-            f"unknown backend {name!r}; available backends: "
+            f"unknown backend {name!r}; {hint}available backends: "
             f"{', '.join(sorted(_REGISTRY))}"
         ) from None
 
@@ -265,4 +309,5 @@ def _ensure_builtin_backends() -> None:
     """Import the built-in backend modules so they self-register."""
     # Deferred so `import repro.comm.backends.base` alone stays cycle-free.
     import repro.comm.backends.lockstep  # noqa: F401
+    import repro.comm.backends.process  # noqa: F401
     import repro.comm.backends.thread  # noqa: F401

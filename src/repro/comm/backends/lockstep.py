@@ -246,7 +246,7 @@ class LockstepGroupState(SharedGroupState):
     def _new_mailbox(self, src: int, dst: int) -> _LockstepMailbox:
         return _LockstepMailbox(self, src, dst)
 
-    def make_subgroup(self, size: int) -> "LockstepGroupState":
+    def make_subgroup(self, size: int, members=None, reg_key=None) -> "LockstepGroupState":
         return LockstepGroupState(size, self.scheduler)
 
     def wait(self) -> None:
@@ -279,6 +279,9 @@ class LockstepBackend(Backend):
         The sequence of rank handoffs of the last run — identical across
         runs of the same program, which is the reproducibility contract.
     """
+
+    deterministic_schedule = True
+    simulates_large_grids = True
 
     def __init__(self, n_ranks: int, name: str = "spmd"):
         super().__init__(n_ranks, name=name)

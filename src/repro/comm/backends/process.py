@@ -1,0 +1,658 @@
+"""The multi-process SPMD backend: true parallelism over shared memory.
+
+:class:`ProcessBackend` runs one OS process per rank, so the ranks escape the
+GIL and genuinely execute concurrently — including the pure-Python hot spots
+(the BPP active-set bookkeeping inside NLS) that the thread backend can only
+interleave.  This is the substrate that can actually *observe* the speedups
+the paper's §6 evaluation measures, rather than merely verifying the
+communication structure of Algorithms 2 and 3.
+
+Design
+------
+The algorithms in :mod:`repro.core` only ever talk to
+:class:`~repro.comm.communicator.Comm`, and ``Comm``'s native collectives
+follow a deposit / barrier / read / barrier protocol against the group
+state's ``slots``.  The process backend therefore swaps in a group state
+whose pieces cross process boundaries:
+
+* **deposit slots** live in :mod:`multiprocessing.shared_memory` segments,
+  one per world rank (single writer, any reader).  A deposit writes a small
+  fixed header (kind, dtype, shape) followed by the raw array bytes; a read
+  returns a zero-copy :class:`numpy.ndarray` **view** of the peer's segment.
+  No pickling happens for array payloads, so the per-iteration collectives —
+  including their ``out=`` / :attr:`Comm.workspace` fast paths — move bytes
+  exactly once, shared memory to caller buffer.  Non-array payloads (the
+  ``split`` metadata, ``scatter``'s block lists) fall back to pickling into
+  the same segment; they are setup-phase, not hot-path.
+* **segments grow by generation**: a deposit larger than the current segment
+  creates a fresh, doubled segment named ``<session>-r<rank>-g<gen>`` and
+  publishes the new generation number in a tiny shared control array;
+  readers re-attach by name when they observe a bumped generation.
+* **barriers** are dissemination barriers over per-rank message queues
+  (``log2 p`` rounds of tokens), so sub-communicators created *after* the
+  fork — the processor grid's row/column communicators — synchronize without
+  needing pre-created OS primitives.
+* **point-to-point** messages ride the same per-destination queue, tagged by
+  (group, source); the receiver buffers out-of-order tokens, preserving
+  per-sender FIFO order.
+
+Failure handling: a rank that raises broadcasts an abort token and ships its
+exception to the parent; the parent also watches for ranks that die without
+reporting (killed, segfaulted) and injects a
+:class:`~repro.util.errors.CommunicatorError` **naming the dead rank** into
+the survivors, which unwind as :class:`PeerAbortError` echoes so
+:func:`raise_first_failure` surfaces the root cause.
+
+The backend requires the ``fork`` start method (the SPMD programs close over
+unpicklable state — matrices, configs, observers — which fork inherits for
+free) and is therefore POSIX-only; :func:`make_backend` raises a clear
+:class:`~repro.util.errors.CommunicatorError` elsewhere.  Determinism: all
+reductions still run in rank order inside ``Comm``, so for a fixed seed the
+factors are byte-identical to the thread and lockstep backends (asserted by
+the parity tests).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import queue
+import struct
+import time
+import uuid
+import warnings
+from collections import deque
+from multiprocessing import shared_memory
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.comm.backends.base import (
+    Backend,
+    PeerAbortError,
+    SharedGroupState,
+    _RankFailure,
+    raise_first_failure,
+    register_backend,
+)
+from repro.util.errors import CommunicatorError
+
+#: Fixed slot header: kind, payload bytes, ndim, 16 shape entries, dtype str.
+_HEADER_FMT = "<3q16q64s"
+_HEADER_BYTES = 256
+assert struct.calcsize(_HEADER_FMT) <= _HEADER_BYTES
+_MAX_DIMS = 16
+_DTYPE_BYTES = 64
+
+_KIND_EMPTY, _KIND_ARRAY, _KIND_PICKLE = 0, 1, 2
+
+#: Key prefix of abort tokens (never collides with barrier/message keys,
+#: which are tuples).
+_ABORT = "__abort__"
+
+#: Initial per-rank deposit-slot capacity; grows by doubling on demand.
+DEFAULT_SLOT_BYTES = 1 << 20
+
+
+def available_cpus() -> int:
+    """CPUs actually available to this process (affinity/cgroup aware).
+
+    ``os.cpu_count()`` reports the host's logical CPUs, which overstates what
+    a container pinned to a subset of cores can use — that would both hide
+    real oversubscription and make CI speedup floors fire on hardware that
+    cannot meet them.
+    """
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux platforms
+        return os.cpu_count() or 1
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach an existing segment by name without re-registering ownership.
+
+    Python 3.13 grew a ``track`` parameter (attachments would otherwise be
+    double-registered with the resource tracker and double-unlinked);
+    earlier versions never tracked attachments.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # pragma: no cover - Python < 3.13
+        return shared_memory.SharedMemory(name=name)
+
+
+class _ProcessRuntime:
+    """Fork-inherited plumbing shared by the parent and every rank process.
+
+    Created in the parent *before* the fork, so the queues, the control
+    segment and the generation-0 data segments are plain inherited OS
+    resources.  After the fork each process calls :meth:`bind` with its rank;
+    everything mutable past that point (token buffers, segment caches, barrier
+    epochs) is per-process state.
+    """
+
+    def __init__(self, ctx, n_ranks: int, slot_bytes: int, timeout: float):
+        self.n_ranks = n_ranks
+        self.timeout = timeout
+        self.session = f"repro-{os.getpid()}-{uuid.uuid4().hex[:8]}"
+        #: One incoming token queue per world rank (barrier + p2p traffic).
+        self.queues = [ctx.Queue() for _ in range(n_ranks)]
+        #: Published data-segment generation per world rank (shared int64s).
+        self.control = shared_memory.SharedMemory(
+            create=True, name=f"{self.session}-ctl", size=8 * n_ranks
+        )
+        self.generations = np.ndarray((n_ranks,), dtype=np.int64, buffer=self.control.buf)
+        self.generations[:] = 0
+        #: Generation-0 deposit segments, created pre-fork and inherited.
+        self._segments: Dict[Tuple[int, int], shared_memory.SharedMemory] = {
+            (r, 0): shared_memory.SharedMemory(
+                create=True, name=self._segment_name(r, 0), size=slot_bytes
+            )
+            for r in range(n_ranks)
+        }
+        # -- per-process state (reset by bind() in each child) --------------
+        self.rank: Optional[int] = None  # None = the parent/monitor process
+        self._buffers: Dict[Any, deque] = {}
+        self._epochs: Dict[Any, int] = {}
+        self._grown: List[shared_memory.SharedMemory] = []
+        self._aborted = False
+        self._abort_reason: Optional[str] = None
+
+    def _segment_name(self, rank: int, generation: int) -> str:
+        return f"{self.session}-r{rank}-g{generation}"
+
+    def bind(self, rank: int) -> None:
+        """Adopt ``rank``'s identity in a freshly forked child."""
+        self.rank = rank
+
+    # -- deposit slots ------------------------------------------------------
+    def _segment(self, rank: int) -> shared_memory.SharedMemory:
+        """The current-generation segment of ``rank``, attaching if it grew."""
+        generation = int(self.generations[rank])
+        key = (rank, generation)
+        seg = self._segments.get(key)
+        if seg is None:
+            seg = _attach_segment(self._segment_name(rank, generation))
+            self._segments[key] = seg
+        return seg
+
+    def _writable_segment(self, nbytes: int) -> shared_memory.SharedMemory:
+        """This rank's segment, grown (new generation) if ``nbytes`` won't fit."""
+        rank = self.rank
+        assert rank is not None, "only bound rank processes deposit"
+        seg = self._segment(rank)
+        if seg.size < nbytes:
+            generation = int(self.generations[rank]) + 1
+            grown = shared_memory.SharedMemory(
+                create=True,
+                name=self._segment_name(rank, generation),
+                size=max(nbytes, 2 * seg.size),
+            )
+            self._segments[(rank, generation)] = grown
+            self._grown.append(grown)
+            # Publish *after* the segment exists; peers only look for the new
+            # name once they read the bumped generation (and only after the
+            # post-deposit barrier, which orders these writes for them).
+            self.generations[rank] = generation
+            return grown
+        return seg
+
+    def deposit(self, value: Any) -> None:
+        """Write ``value`` into this rank's slot (arrays raw, the rest pickled)."""
+        if (
+            isinstance(value, np.ndarray)
+            and not value.dtype.hasobject
+            and value.dtype.names is None
+            and value.ndim <= _MAX_DIMS
+            and len(value.dtype.str.encode("ascii", "replace")) <= _DTYPE_BYTES
+        ):
+            arr = np.ascontiguousarray(value)
+            seg = self._writable_segment(_HEADER_BYTES + arr.nbytes)
+            shape = list(arr.shape) + [0] * (_MAX_DIMS - arr.ndim)
+            struct.pack_into(
+                _HEADER_FMT, seg.buf, 0,
+                _KIND_ARRAY, arr.nbytes, arr.ndim, *shape,
+                arr.dtype.str.encode("ascii"),
+            )
+            if arr.nbytes:
+                view = np.ndarray(
+                    arr.shape, dtype=arr.dtype, buffer=seg.buf, offset=_HEADER_BYTES
+                )
+                np.copyto(view, arr)
+                del view
+            return
+        blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        seg = self._writable_segment(_HEADER_BYTES + len(blob))
+        struct.pack_into(
+            _HEADER_FMT, seg.buf, 0,
+            _KIND_PICKLE, len(blob), 0, *([0] * _MAX_DIMS), b"",
+        )
+        seg.buf[_HEADER_BYTES:_HEADER_BYTES + len(blob)] = blob
+
+    def read_slot(self, rank: int) -> Any:
+        """Read ``rank``'s deposit: a zero-copy array view, or the unpickled object."""
+        seg = self._segment(rank)
+        unpacked = struct.unpack_from(_HEADER_FMT, seg.buf, 0)
+        kind, nbytes, ndim = unpacked[0], unpacked[1], unpacked[2]
+        if kind == _KIND_ARRAY:
+            shape = tuple(unpacked[3:3 + ndim])
+            dtype = np.dtype(unpacked[19].rstrip(b"\x00").decode("ascii"))
+            return np.ndarray(shape, dtype=dtype, buffer=seg.buf, offset=_HEADER_BYTES)
+        if kind == _KIND_PICKLE:
+            return pickle.loads(bytes(seg.buf[_HEADER_BYTES:_HEADER_BYTES + nbytes]))
+        raise CommunicatorError(
+            f"rank {self.rank} read rank {rank}'s deposit slot before any deposit "
+            "(collective protocol violation)"
+        )
+
+    # -- token transport (barriers + point-to-point) ------------------------
+    def send_token(self, dst: int, key: Any, payload: Any) -> None:
+        if dst == self.rank:
+            self._buffers.setdefault(key, deque()).append(payload)
+            return
+        self.queues[dst].put((key, payload))
+
+    def recv_token(self, key: Any, timeout: float, empty_on_timeout: bool = False) -> Any:
+        """Wait for a token matching ``key``, buffering out-of-order arrivals."""
+        buffered = self._buffers.get(key)
+        if buffered:
+            return buffered.popleft()
+        if self._aborted:
+            self._raise_abort()
+        deadline = time.monotonic() + timeout
+        own = self.queues[self.rank]
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                if empty_on_timeout:
+                    raise queue.Empty
+                raise CommunicatorError(
+                    f"rank {self.rank} timed out after {timeout:g}s waiting for "
+                    f"token {key!r}; a peer rank likely crashed or is stuck"
+                )
+            try:
+                got_key, payload = own.get(timeout=remaining)
+            except queue.Empty:
+                continue
+            if got_key == _ABORT:
+                self._aborted = True
+                self._abort_reason = payload
+                self._raise_abort()
+            bucket = self._buffers.setdefault(got_key, deque())
+            bucket.append(payload)
+            if got_key == key:
+                return bucket.popleft()
+
+    def _raise_abort(self) -> None:
+        raise PeerAbortError(self._abort_reason or "a peer rank failed; run aborted")
+
+    def broadcast_abort(self, reason: str) -> None:
+        """Wake every rank (blocked or not) with an abort token."""
+        self._aborted = True
+        self._abort_reason = reason
+        for r in range(self.n_ranks):
+            if r != self.rank:
+                self.queues[r].put((_ABORT, reason))
+
+    # -- dissemination barrier ----------------------------------------------
+    def barrier(self, uid: Any, members: Tuple[int, ...]) -> None:
+        """Synchronize the ``members`` group (log2 rounds of shifted tokens)."""
+        n = len(members)
+        if n == 1:
+            if self._aborted:
+                self._raise_abort()
+            return
+        me = members.index(self.rank)
+        epoch = self._epochs.get(uid, 0)
+        self._epochs[uid] = epoch + 1
+        distance, round_no = 1, 0
+        while distance < n:
+            dst = members[(me + distance) % n]
+            src = members[(me - distance) % n]
+            self.send_token(dst, ("bar", uid, epoch, round_no, self.rank), None)
+            self.recv_token(("bar", uid, epoch, round_no, src), timeout=self.timeout)
+            distance *= 2
+            round_no += 1
+
+    # -- cleanup ------------------------------------------------------------
+    def release_grown(self) -> None:
+        """Unlink the segments this (child) process created by growing its slot.
+
+        Safe at program end: the closing barrier of every collective
+        guarantees peers finished reading, and unlinking only removes the
+        name — peers' existing attachments stay mapped.
+        """
+        for seg in self._grown:
+            try:
+                seg.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        self._grown = []
+
+    def release_parent(self) -> None:
+        """Unlink everything the parent created, plus orphans of killed ranks."""
+        for rank in range(self.n_ranks):
+            # Grown segments are normally unlinked by their creating child;
+            # sweep survivors (e.g. a rank killed mid-run) by name.
+            for generation in range(1, int(self.generations[rank]) + 1):
+                key = (rank, generation)
+                if key in self._segments:
+                    continue
+                try:
+                    orphan = _attach_segment(self._segment_name(rank, generation))
+                except FileNotFoundError:
+                    continue
+                try:
+                    orphan.unlink()
+                    orphan.close()
+                except Exception:  # pragma: no cover - best-effort sweep
+                    pass
+        for seg in self._segments.values():
+            try:
+                seg.unlink()
+            except FileNotFoundError:
+                pass
+            try:
+                seg.close()
+            except BufferError:  # pragma: no cover - a live view pins the map
+                pass
+        # Drop the numpy view before closing its backing buffer.
+        del self.generations
+        try:
+            self.control.unlink()
+            self.control.close()
+        except (FileNotFoundError, BufferError):  # pragma: no cover
+            pass
+        for q in self.queues:
+            q.cancel_join_thread()
+            q.close()
+
+
+class _ProcessSlots:
+    """Group-local view of the per-world-rank shared-memory deposit slots."""
+
+    def __init__(self, runtime: _ProcessRuntime, members: Tuple[int, ...]):
+        self._runtime = runtime
+        self._members = members
+
+    def __setitem__(self, local_rank: int, value: Any) -> None:
+        world = self._members[local_rank]
+        if world != self._runtime.rank:
+            raise CommunicatorError(
+                f"rank {self._runtime.rank} attempted to write rank {world}'s "
+                "deposit slot; slots are single-writer"
+            )
+        self._runtime.deposit(value)
+
+    def __getitem__(self, local_rank: int) -> Any:
+        return self._runtime.read_slot(self._members[local_rank])
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __iter__(self):
+        return (self[i] for i in range(len(self._members)))
+
+
+class _ProcessMailbox:
+    """FIFO (src → dst) channel over the destination rank's token queue."""
+
+    def __init__(self, runtime: _ProcessRuntime, uid: Any, src: int, dst: int):
+        self._runtime = runtime
+        self._key = ("msg", uid, src)
+        self._dst = dst
+
+    def put(self, item: Any) -> None:
+        self._runtime.send_token(self._dst, self._key, item)
+
+    def get(self, timeout: Optional[float] = None) -> Any:
+        effective = self._runtime.timeout if timeout is None else timeout
+        # queue.Empty on timeout matches Comm.recv's diagnostic handling.
+        return self._runtime.recv_token(self._key, effective, empty_on_timeout=True)
+
+
+class ProcessGroupState(SharedGroupState):
+    """Group state whose slots, barriers and mailboxes cross process boundaries.
+
+    The deposit / barrier / read / barrier protocol of the native collectives
+    is inherited from :class:`Comm` unchanged; only the substrate differs —
+    shared-memory slots, dissemination barriers, queue-backed mailboxes.
+    """
+
+    def __init__(
+        self,
+        size: int,
+        runtime: _ProcessRuntime,
+        uid: Any,
+        members: Tuple[int, ...],
+    ):
+        super().__init__(size)
+        if len(members) != size:
+            raise CommunicatorError(
+                f"group of size {size} constructed with {len(members)} members"
+            )
+        self.runtime = runtime
+        self.uid = uid
+        self.members = tuple(members)
+        self.slots = _ProcessSlots(runtime, self.members)
+
+    def _new_mailbox(self, src: int, dst: int) -> _ProcessMailbox:
+        return _ProcessMailbox(
+            self.runtime, self.uid, self.members[src], self.members[dst]
+        )
+
+    def make_subgroup(self, size, members=None, reg_key=None) -> "ProcessGroupState":
+        if members is None:
+            raise CommunicatorError(
+                "process-backend subgroups need the member ranks; update the "
+                "caller to pass make_subgroup(size, members=..., reg_key=...)"
+            )
+        world_members = tuple(self.members[i] for i in members)
+        return ProcessGroupState(
+            size, self.runtime, (self.uid, reg_key), world_members
+        )
+
+    def wait(self) -> None:
+        self.runtime.barrier(self.uid, self.members)
+
+    def abort(self) -> None:
+        self.runtime.broadcast_abort(
+            f"rank {self.runtime.rank} failed; peers aborted"
+        )
+
+
+def _picklable_exception(rank: int, exc: BaseException) -> BaseException:
+    """The exception itself if it survives pickling, else a faithful stand-in."""
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:
+        return CommunicatorError(
+            f"rank {rank} failed with unpicklable {type(exc).__name__}: {exc}"
+        )
+
+
+class ProcessBackend(Backend):
+    """Launches an SPMD program on ``n_ranks`` OS processes (fork + shared memory).
+
+    Parameters
+    ----------
+    n_ranks:
+        Number of SPMD ranks (processes).  Exceeding the host's CPU count
+        emits a :class:`RuntimeWarning` — the ranks still run, but
+        oversubscribed, which defeats the point of a process backend.
+    name:
+        Label used in process names and diagnostics.
+    slot_bytes:
+        Initial capacity of each rank's shared-memory deposit slot; grown
+        automatically (doubling) when a larger array is deposited.
+    timeout:
+        Seconds a rank waits on a barrier token before declaring the group
+        stuck (a generous bound on the slowest rank's compute phase).
+    """
+
+    parallel_python = True
+    cross_process = True
+
+    def __init__(
+        self,
+        n_ranks: int,
+        name: str = "spmd",
+        *,
+        slot_bytes: int = DEFAULT_SLOT_BYTES,
+        timeout: float = 300.0,
+    ):
+        super().__init__(n_ranks, name=name)
+        self.slot_bytes = int(slot_bytes)
+        self.timeout = float(timeout)
+        cpus = available_cpus()
+        if n_ranks > cpus:
+            warnings.warn(
+                f"process backend: {n_ranks} ranks oversubscribe the "
+                f"{cpus} available CPU(s); ranks will time-slice rather than "
+                "run concurrently (consider n_ranks <= cpu count, or the "
+                "'lockstep' backend for large simulated grids)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+
+    @staticmethod
+    def _fork_context():
+        import multiprocessing as mp
+
+        try:
+            return mp.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            raise CommunicatorError(
+                "the 'process' backend requires the fork start method "
+                "(POSIX only); use the 'thread' or 'lockstep' backend here"
+            ) from None
+
+    def run(self, program: Callable[..., Any], *args: Any, **kwargs: Any) -> List[Any]:
+        # Imported here to avoid a circular import at module load time.
+        from repro.comm.communicator import Comm
+
+        if self.n_ranks == 1:
+            # A single rank needs no cross-process machinery; run inline on
+            # ordinary in-process group state, like the other backends.
+            comm = Comm(state=SharedGroupState(1), rank=0, group_ranks=(0,))
+            return [program(comm, *args, **kwargs)]
+
+        ctx = self._fork_context()
+        runtime = _ProcessRuntime(ctx, self.n_ranks, self.slot_bytes, self.timeout)
+        world = ProcessGroupState(
+            self.n_ranks, runtime, uid=("world",), members=tuple(range(self.n_ranks))
+        )
+        result_queue = ctx.Queue()
+        observers = kwargs.get("observers") or ()
+
+        def worker(rank: int) -> None:
+            runtime.bind(rank)
+            comm = Comm(
+                state=world, rank=rank, group_ranks=tuple(range(self.n_ranks))
+            )
+            try:
+                value = program(comm, *args, **kwargs)
+                extra = None
+                if rank == 0 and observers:
+                    # Ship rank 0's observer state home so stateful observers
+                    # (history recorders, checkpointers) behave as they do on
+                    # the in-process backends.  Best-effort: unpicklable
+                    # observers simply keep their parent-side state.
+                    try:
+                        states = [getattr(o, "__dict__", None) for o in observers]
+                        pickle.dumps(states)
+                        extra = states
+                    except Exception:
+                        extra = None
+                result_queue.put((rank, "ok", value, extra))
+            except BaseException as exc:  # noqa: BLE001 - must not strand peers
+                runtime.broadcast_abort(
+                    f"rank {rank} failed: {type(exc).__name__}: {exc}"
+                )
+                result_queue.put((rank, "err", _picklable_exception(rank, exc), None))
+            finally:
+                runtime.release_grown()
+
+        processes = [
+            ctx.Process(target=worker, args=(rank,), name=f"{self.name}-rank{rank}")
+            for rank in range(self.n_ranks)
+        ]
+        for proc in processes:
+            proc.start()
+
+        results: List[Any] = [None] * self.n_ranks
+        collected = [False] * self.n_ranks
+        observer_states = None
+        try:
+            while not all(collected):
+                try:
+                    rank, status, payload, extra = result_queue.get(timeout=0.1)
+                except queue.Empty:
+                    self._reap_dead_ranks(
+                        processes, collected, results, result_queue, runtime
+                    )
+                    continue
+                collected[rank] = True
+                if status == "ok":
+                    results[rank] = payload
+                    if rank == 0:
+                        observer_states = extra
+                else:
+                    results[rank] = _RankFailure(rank, payload)
+            for proc in processes:
+                proc.join()
+        finally:
+            for proc in processes:
+                if proc.is_alive():  # pragma: no cover - defensive teardown
+                    proc.terminate()
+                    proc.join()
+            result_queue.cancel_join_thread()
+            result_queue.close()
+            runtime.release_parent()
+
+        if observer_states is not None:
+            for observer, state in zip(observers, observer_states):
+                if isinstance(state, dict):
+                    observer.__dict__.update(state)
+        raise_first_failure(results)
+        return results
+
+    def _reap_dead_ranks(
+        self, processes, collected, results, result_queue, runtime
+    ) -> None:
+        """Detect ranks that died without reporting and unblock their peers."""
+        for rank, proc in enumerate(processes):
+            if collected[rank] or proc.is_alive() or proc.exitcode is None:
+                continue
+            # The process is gone; give any in-flight result a moment to
+            # drain through the queue's feeder thread before declaring death.
+            deadline = time.monotonic() + 1.0
+            drained = False
+            while time.monotonic() < deadline:
+                try:
+                    got = result_queue.get(timeout=0.1)
+                except queue.Empty:
+                    continue
+                other_rank, status, payload, extra = got
+                collected[other_rank] = True
+                if status == "ok":
+                    results[other_rank] = payload
+                else:
+                    results[other_rank] = _RankFailure(other_rank, payload)
+                if other_rank == rank:
+                    drained = True
+                    break
+            if drained:
+                continue
+            message = (
+                f"rank {rank} (pid {proc.pid}) died with exit code "
+                f"{proc.exitcode} before returning its result; "
+                "surviving ranks were aborted"
+            )
+            collected[rank] = True
+            results[rank] = _RankFailure(rank, CommunicatorError(message))
+            runtime.broadcast_abort(message)
+
+
+register_backend("process", ProcessBackend)

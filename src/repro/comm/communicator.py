@@ -289,6 +289,18 @@ class Comm:
         self.send(obj, dest, tag=tag)
         return self.recv(source, tag=tag)
 
+    @staticmethod
+    def _detach(value: Any) -> Any:
+        """Copy an ndarray read from a peer's deposit slot before it escapes.
+
+        Slot reads may be views of a buffer the peer reuses for its next
+        deposit (the process backend's shared-memory segments), so any array
+        that outlives the collective's closing barrier must be detached.
+        Non-array objects keep reference semantics (the object collectives'
+        pickle-style contract).
+        """
+        return value.copy() if isinstance(value, np.ndarray) else value
+
     # -- object collectives (pickle-style, small metadata only) -------------
     def allgather_object(self, obj: Any) -> List[Any]:
         """Gather one arbitrary Python object from every rank (returned in rank order)."""
@@ -296,7 +308,10 @@ class Comm:
             return [obj]
         self._state.slots[self.rank] = obj
         with self._compute_phase():
-            out = list(self._state.slots)
+            out = [
+                obj if r == self.rank else self._detach(self._state.slots[r])
+                for r in range(self.size)
+            ]
         self._record("all_gather", _nwords(obj) * self.size)
         return out
 
@@ -307,9 +322,9 @@ class Comm:
         if self.rank == root:
             self._state.slots[root] = obj
         with self._compute_phase():
-            value = self._state.slots[root]
-            if isinstance(value, np.ndarray) and self.rank != root:
-                value = value.copy()
+            # The root hands back the caller's own object; peers detach their
+            # slot read so it cannot alias the root's next deposit.
+            value = obj if self.rank == root else self._detach(self._state.slots[root])
         self._record("broadcast", _nwords(value))
         return value
 
@@ -537,9 +552,14 @@ class Comm:
             sub_state = self._state.registry.get(reg_key)
             if sub_state is None:
                 # The state decides its own subgroup type, so sub-communicators
-                # stay on the same backend (thread, lockstep, ...) as their
-                # parent.
-                sub_state = self._state.make_subgroup(len(group_local_ranks))
+                # stay on the same backend (thread, lockstep, process, ...) as
+                # their parent.  The member list and registry key give
+                # cross-process states a globally agreed group identity.
+                sub_state = self._state.make_subgroup(
+                    len(group_local_ranks),
+                    members=tuple(group_local_ranks),
+                    reg_key=reg_key,
+                )
                 self._state.registry[reg_key] = sub_state
         # Make sure every rank observed its sub-state before anyone proceeds.
         self.barrier()

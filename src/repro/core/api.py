@@ -105,8 +105,12 @@ def fit(
         ``"auto"`` to have the planner score **all** factorizations of ``p``
         and run the cheapest.
     backend:
-        Execution backend registry name (``"thread"``, ``"lockstep"``, ...);
-        overrides ``config.backend``.  Ignored by sequential-only variants.
+        Execution backend registry name (``"thread"``, ``"lockstep"``,
+        ``"process"``, ...); overrides ``config.backend``.  ``"process"``
+        runs one OS process per rank — the only backend that escapes the
+        GIL, hence the one that shows real speedups.  Unknown names raise
+        immediately with the registry's suggestion list.  Ignored by
+        sequential-only variants.
     config:
         Full :class:`NMFConfig`; keyword ``options`` override single fields.
     observers:
@@ -147,6 +151,13 @@ def fit(
     >>> auto.variant, auto.plan.grid, auto.grid_shape
     ('hpc2d', (4, 1), (4, 1))
     """
+    if isinstance(backend, str):
+        # Fail fast, before any planning or data movement, with the backend
+        # registry's suggestion list ("did you mean 'process'?").
+        from repro.comm.backends import get_backend_class
+
+        get_backend_class(backend)
+
     config_options = {key: val for key, val in options.items() if key in _CONFIG_FIELDS}
     extras = {key: val for key, val in options.items() if key not in _CONFIG_FIELDS}
 

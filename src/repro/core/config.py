@@ -70,9 +70,11 @@ class NMFConfig:
         Inner sweeps for the iterative solvers (MU/HALS); ignored by BPP.
     backend:
         Execution backend for the parallel algorithms, by registry name:
-        ``"thread"`` (default; one thread per rank, real overlap) or
-        ``"lockstep"`` (deterministic rank-ordered scheduling, scales to
-        hundreds of simulated ranks).  See :mod:`repro.comm.backends`.
+        ``"thread"`` (default; one thread per rank, real overlap where BLAS
+        releases the GIL), ``"lockstep"`` (deterministic rank-ordered
+        scheduling, scales to hundreds of simulated ranks) or ``"process"``
+        (one OS process per rank over shared memory — true parallelism,
+        the measured-speedup substrate).  See :mod:`repro.comm.backends`.
         Ignored by the sequential algorithm.
     """
 

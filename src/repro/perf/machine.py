@@ -76,7 +76,9 @@ class MachineSpec:
         return replace(self, **kwargs)
 
     @classmethod
-    def calibrate(cls, size: int = 384, repeats: int = 3, seed: int = 0) -> "MachineSpec":
+    def calibrate(
+        cls, size: int = 384, repeats: int = 3, seed: int = 0, ranks: int = 1
+    ) -> "MachineSpec":
         """Micro-benchmark *this* host and return a spec priced to it.
 
         Two quick measurements (well under a second in total):
@@ -87,6 +89,14 @@ class MachineSpec:
         * a ``size²``-double buffer copy — its per-word time becomes
           ``beta``, the in-process stand-in for interconnect bandwidth
           (rank-to-rank "communication" on the SPMD backends is a memcpy).
+
+        With ``ranks > 1`` the GEMM is instead timed on the ``"process"``
+        backend with ``ranks`` OS processes running it *concurrently*, so
+        ``gamma`` reflects the per-rank flop rate under real contention
+        (shared caches, memory bandwidth, SMT) — the number
+        ``fit(variant="auto")`` should cost parallel plans against, rather
+        than the single-rank rate times ``p``.  The slowest rank's best
+        time is used: an SPMD iteration finishes when the last rank does.
 
         ``alpha`` is fixed at 100 ns, a deposit-slot handoff rather than a
         NIC round-trip.  The relative kernel efficiencies (sparse MM, Gram,
@@ -101,23 +111,66 @@ class MachineSpec:
 
         from repro.core.local_ops import dense_matmul_flops
 
-        rng = np.random.default_rng(seed)
-        x = rng.standard_normal((size, size))
-        y = rng.standard_normal((size, size))
-        x @ y  # warm-up: BLAS thread pools, page faults
-        gemm_best = min(_timed(lambda: x @ y) for _ in range(repeats))
-        gamma = gemm_best / dense_matmul_flops(size, size, size)
+        flops = dense_matmul_flops(size, size, size)
+        gamma, name = None, "local-calibrated"
+        if ranks > 1:
+            from repro.comm.backends import run_spmd
 
+            try:
+                per_rank_best = run_spmd(
+                    ranks, _gemm_probe, size, repeats, seed,
+                    name="calibrate", backend="process",
+                )
+            except Exception as exc:  # noqa: BLE001 - probe is best-effort
+                # No fork on this platform, fork refused (rlimits, memory
+                # pressure), or the probe ranks failed: degrade to the
+                # single-rank probe rather than turning a pricing request
+                # into an executor error.
+                import warnings
+
+                warnings.warn(
+                    f"parallel calibration on the process backend failed "
+                    f"({exc}); falling back to a single-rank GEMM probe",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            else:
+                gamma = max(per_rank_best) / flops
+                name = f"local-calibrated-p{ranks}"
+        if gamma is None:
+            gamma = _gemm_probe(None, size, repeats, seed) / flops
+
+        rng = np.random.default_rng(seed)
         src = rng.standard_normal(size * size)
         dst = np.empty_like(src)
         np.copyto(dst, src)  # warm-up
         copy_best = min(_timed(lambda: np.copyto(dst, src)) for _ in range(repeats))
         beta = copy_best / src.size
 
-        network = AlphaBetaGamma(
-            alpha=1.0e-7, beta=beta, gamma=gamma, name="local-calibrated"
-        )
+        network = AlphaBetaGamma(alpha=1.0e-7, beta=beta, gamma=gamma, name=name)
         return cls(network=network, dense_mm_efficiency=1.0)
+
+
+def _gemm_probe(comm, size: int, repeats: int, seed: int) -> float:
+    """Best-of-``repeats`` seconds for one ``size × size`` GEMM on this rank.
+
+    Runs standalone (``comm=None``) or as an SPMD program: with a
+    communicator the ranks align on a barrier after warm-up so the timed
+    GEMMs genuinely contend, and each rank draws its data from the package's
+    deterministic per-rank seeding.
+    """
+    import numpy as np
+
+    from repro.util.seeding import per_rank_seed
+
+    rank = comm.rank if comm is not None else 0
+    rng = np.random.default_rng(per_rank_seed(seed, rank))
+    x = rng.standard_normal((size, size))
+    y = rng.standard_normal((size, size))
+    x @ y  # warm-up: BLAS thread pools, page faults
+    if comm is not None:
+        comm.barrier()
+    return min(_timed(lambda: x @ y) for _ in range(repeats))
 
 
 def _timed(fn) -> float:

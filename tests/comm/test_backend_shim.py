@@ -1,0 +1,33 @@
+"""The ``repro.comm.backend`` compat shim must warn, loudly and correctly."""
+
+import warnings
+
+import pytest
+
+
+def test_shim_attribute_access_emits_deprecation_warning():
+    import repro.comm.backend as shim
+    import repro.comm.backends as backends
+
+    with pytest.warns(DeprecationWarning, match="repro.comm.backends"):
+        run_spmd = shim.run_spmd
+    assert run_spmd is backends.run_spmd
+
+
+def test_shim_from_import_warns_and_resolves_every_public_name():
+    import repro.comm.backend as shim
+    import repro.comm.backends as backends
+
+    for name in shim.__all__:
+        with pytest.warns(DeprecationWarning, match=name):
+            value = getattr(shim, name)
+        assert value is getattr(backends, name)
+
+
+def test_shim_unknown_attribute_raises_without_warning():
+    import repro.comm.backend as shim
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        with pytest.raises(AttributeError, match="no_such_thing"):
+            shim.no_such_thing

@@ -1,0 +1,168 @@
+"""The multi-process SPMD backend: shared-memory collectives, failure paths.
+
+The contract under test: the process backend is a drop-in substrate for the
+same ``Comm`` the other backends run — identical collective results
+(including the ``out=``/workspace fast paths and post-fork ``split``
+sub-communicators), faithful failure propagation, and detection of ranks
+that die without reporting.
+"""
+
+import os
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.comm.backends import (
+    Backend,
+    ProcessBackend,
+    available_backends,
+    backend_capabilities,
+    get_backend_class,
+    run_spmd,
+)
+from repro.util.errors import CommunicatorError
+
+
+@pytest.fixture(autouse=True)
+def _silence_oversubscription():
+    # This suite deliberately runs more ranks than the host may have CPUs;
+    # the oversubscription warning itself is asserted in its own test.
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        yield
+
+
+def _collective_program(comm):
+    local = np.arange(3.0) + 10 * comm.rank
+    total = comm.allreduce(local)
+    gathered = comm.allgatherv(np.array([float(comm.rank)]))
+    piece = comm.reduce_scatter(np.arange(comm.size, dtype=float))
+    sub = comm.split(color=comm.rank % 2)
+    subsum = sub.allreduce_scalar(comm.rank)
+    reused = comm.workspace.get("acc", (3,))
+    comm.allreduce(local, out=reused)
+    return total.tolist(), gathered.tolist(), piece.tolist(), subsum, reused.tolist()
+
+
+class TestRegistry:
+    def test_process_backend_is_registered(self):
+        assert "process" in available_backends()
+        assert get_backend_class("process") is ProcessBackend
+        assert issubclass(ProcessBackend, Backend)
+
+    def test_capability_flags(self):
+        caps = backend_capabilities()
+        assert caps["process"]["parallel_python"] is True
+        assert caps["process"]["cross_process"] is True
+        assert caps["thread"]["parallel_python"] is False
+        assert caps["lockstep"]["deterministic_schedule"] is True
+        assert caps["lockstep"]["simulates_large_grids"] is True
+
+    def test_unknown_backend_suggests_close_match(self):
+        with pytest.raises(CommunicatorError, match="did you mean 'process'"):
+            get_backend_class("proces")
+
+
+class TestProcessBackend:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4, 5])
+    def test_matches_thread_backend(self, p):
+        """Collectives (incl. non-power-of-two groups and post-fork splits)
+        produce the same values as the in-process substrate."""
+        via_process = run_spmd(p, _collective_program, backend="process")
+        via_thread = run_spmd(p, _collective_program, backend="thread")
+        assert via_process == via_thread
+
+    def test_point_to_point_ring(self):
+        def program(comm):
+            right = (comm.rank + 1) % comm.size
+            left = (comm.rank - 1) % comm.size
+            return comm.sendrecv(comm.rank, dest=right, source=left)
+
+        assert run_spmd(5, program, backend="process") == [4, 0, 1, 2, 3]
+
+    def test_slot_growth_beyond_initial_capacity(self):
+        """A deposit larger than the shared segment grows it by generation."""
+
+        def program(comm):
+            big = np.full(50_000, float(comm.rank + 1))  # 400 kB > 64 kB slots
+            return float(comm.allreduce(big)[0])
+
+        backend = ProcessBackend(3, slot_bytes=1 << 16)
+        assert backend.run(program) == [6.0, 6.0, 6.0]
+
+    def test_bcast_and_allgather_object_results_survive_later_collectives(self):
+        """Slot reads must be detached before they escape: a bcast/gathered
+        array must not be rewritten when its owner's segment is reused."""
+
+        def program(comm):
+            broadcast = comm.bcast(np.arange(4.0) + comm.rank, root=0)
+            gathered = comm.allgather_object(np.full(4, float(comm.rank)))
+            comm.allreduce(np.full(4, 99.0))  # reuses every deposit segment
+            ok_bcast = broadcast.tolist() == [0.0, 1.0, 2.0, 3.0]
+            ok_gather = all(
+                g.tolist() == [float(r)] * 4 for r, g in enumerate(gathered)
+            )
+            return ok_bcast and ok_gather
+
+        assert all(run_spmd(3, program, backend="process"))
+
+    def test_object_payloads_fall_back_to_pickle(self):
+        def program(comm):
+            meta = comm.allgather_object({"rank": comm.rank, "tag": "x" * comm.rank})
+            return [m["rank"] for m in meta]
+
+        assert run_spmd(3, program, backend="process") == [[0, 1, 2]] * 3
+
+    def test_exception_propagates_with_real_failure_preferred(self):
+        def program(comm):
+            comm.barrier()
+            if comm.rank == 1:
+                raise ValueError("rank 1 exploded")
+            comm.barrier()
+
+        with pytest.raises(ValueError, match="rank 1 exploded"):
+            run_spmd(3, program, backend="process")
+
+    def test_dead_rank_is_detected_and_named(self):
+        """A rank that dies without reporting (killed, segfaulted) must not
+        hang its peers, and the error must name the dead rank."""
+
+        def program(comm):
+            if comm.rank == 2:
+                os._exit(3)
+            comm.barrier()
+            return True
+
+        with pytest.raises(CommunicatorError, match="rank 2") as excinfo:
+            run_spmd(4, program, backend="process")
+        assert "exit code 3" in str(excinfo.value)
+
+    def test_no_shared_memory_leaked(self):
+        before = {f for f in os.listdir("/dev/shm") if f.startswith("repro-")}
+        run_spmd(3, _collective_program, backend="process")
+        after = {f for f in os.listdir("/dev/shm") if f.startswith("repro-")}
+        assert after <= before
+
+    def test_oversubscription_warns(self):
+        from repro.comm.backends.process import available_cpus
+
+        with pytest.warns(RuntimeWarning, match="oversubscribe"):
+            ProcessBackend(available_cpus() + 1)
+
+    def test_fit_oversubscription_warns_instead_of_silently_running(self):
+        from repro.comm.backends.process import available_cpus
+        from repro.core.api import fit
+
+        cpus = available_cpus()
+        if cpus > 8:
+            pytest.skip("would fork cpu_count+1 processes on a large host")
+        A = np.abs(np.random.default_rng(0).standard_normal((24, 16)))
+        with pytest.warns(RuntimeWarning, match="oversubscribe"):
+            result = fit(A, 2, variant="hpc2d", n_ranks=cpus + 1,
+                         backend="process", max_iters=2, seed=1)
+        assert result.n_ranks == cpus + 1  # warned, but still ran
+
+    def test_single_rank_runs_inline(self):
+        backend = ProcessBackend(1)
+        assert backend.run(lambda comm: (os.getpid(), comm.size)) == [(os.getpid(), 1)]

@@ -1,10 +1,15 @@
-"""Backend parity: thread and lockstep must produce identical NMF results.
+"""Backend parity: every backend must produce identical NMF results.
 
-Both backends evaluate every reduction in rank order, so for a fixed seed and
+All backends evaluate every reduction in rank order, so for a fixed seed and
 grid the factor matrices must be *byte-identical* across backends — on both
-algorithms (2 and 3) and both dense and sparse inputs.  This is also the
-determinism contract of the lockstep backend itself: two runs, same bytes.
+algorithms (2 and 3) and both dense and sparse inputs.  For the process
+backend this additionally proves the shared-memory deposit slots move float64
+payloads bit-exactly (no pickling or re-encoding on the hot path).  This is
+also the determinism contract of the lockstep backend itself: two runs, same
+bytes.
 """
+
+import warnings
 
 import numpy as np
 import pytest
@@ -15,6 +20,15 @@ from repro.core.config import NMFConfig
 from repro.data.lowrank import planted_lowrank
 
 
+@pytest.fixture(autouse=True)
+def _silence_oversubscription():
+    # p=4 oversubscribes small hosts; the warning has its own test in
+    # tests/comm/test_process_backend.py.
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        yield
+
+
 def _dense():
     return planted_lowrank(32, 24, 3, seed=5, noise_std=0.05)
 
@@ -23,18 +37,19 @@ def _sparse():
     return sp.random(32, 24, density=0.2, random_state=5, format="csr")
 
 
+@pytest.mark.parametrize("other_backend", ["lockstep", "process"])
 @pytest.mark.parametrize("algorithm", ["naive", "hpc1d", "hpc2d"])
 @pytest.mark.parametrize("kind", ["dense", "sparse"])
-def test_thread_and_lockstep_factors_identical(algorithm, kind):
+def test_backends_produce_identical_factors(algorithm, kind, other_backend):
     A = _dense() if kind == "dense" else _sparse()
     kwargs = dict(n_ranks=4, algorithm=algorithm, max_iters=4, seed=9)
     via_thread = parallel_nmf(A, 3, backend="thread", **kwargs)
-    via_lockstep = parallel_nmf(A, 3, backend="lockstep", **kwargs)
-    assert via_thread.W.tobytes() == via_lockstep.W.tobytes()
-    assert via_thread.H.tobytes() == via_lockstep.H.tobytes()
-    assert via_thread.grid_shape == via_lockstep.grid_shape
+    via_other = parallel_nmf(A, 3, backend=other_backend, **kwargs)
+    assert via_thread.W.tobytes() == via_other.W.tobytes()
+    assert via_thread.H.tobytes() == via_other.H.tobytes()
+    assert via_thread.grid_shape == via_other.grid_shape
     np.testing.assert_array_equal(
-        via_thread.relative_error_history, via_lockstep.relative_error_history
+        via_thread.relative_error_history, via_other.relative_error_history
     )
 
 
@@ -63,3 +78,41 @@ def test_unknown_backend_raises_helpful_error():
 
     with pytest.raises(CommunicatorError, match="unknown backend"):
         parallel_nmf(_dense(), 3, n_ranks=2, backend="mpi", max_iters=2)
+
+
+def test_fit_rejects_unknown_backend_eagerly_with_suggestions():
+    """The front door fails before any work, listing the registry and the
+    closest name — a typo'd backend must not silently fall back."""
+    from repro.core.api import fit
+    from repro.util.errors import CommunicatorError
+
+    with pytest.raises(CommunicatorError) as excinfo:
+        fit(_dense(), 3, variant="hpc2d", n_ranks=2, backend="procss", max_iters=2)
+    message = str(excinfo.value)
+    assert "did you mean 'process'" in message
+    for name in ("lockstep", "process", "thread"):
+        assert name in message
+
+
+def test_cli_rejects_unknown_backend_with_choice_list(capsys):
+    from repro.cli import main
+
+    with pytest.raises(SystemExit) as excinfo:
+        main(["factorize", "SSYN", "-k", "3", "--backend", "procss"])
+    assert excinfo.value.code == 2
+    err = capsys.readouterr().err
+    for name in ("lockstep", "process", "thread"):
+        assert name in err
+
+
+def test_process_backend_observer_state_comes_home():
+    """Stateful observers run on rank 0's process; their recorded state must
+    reach the caller's objects, as it does on the in-process backends."""
+    from repro.core.api import fit
+    from repro.core.observers import HistoryRecorder
+
+    recorder = HistoryRecorder()
+    fit(_dense(), 3, variant="hpc2d", n_ranks=2, backend="process",
+        max_iters=3, seed=1, observers=[recorder])
+    assert len(recorder.history) == 3
+    assert [s.iteration for s in recorder.history] == [0, 1, 2]

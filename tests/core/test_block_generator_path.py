@@ -12,7 +12,7 @@ matrix, it matches the from-global path exactly.
 import numpy as np
 import pytest
 
-from repro.comm.backend import run_spmd
+from repro.comm.backends import run_spmd
 from repro.core.config import NMFConfig
 from repro.core.hpc_nmf import assemble_hpc_result, hpc_nmf
 from repro.data.synthetic import dense_synthetic, dense_synthetic_block, sparse_synthetic_block

@@ -10,7 +10,7 @@ import numpy as np
 import pytest
 import scipy.sparse as sp
 
-from repro.comm.backend import run_spmd
+from repro.comm.backends import run_spmd
 from repro.comm.grid import ProcessGrid
 from repro.dist.distmatrix import DistMatrix2D, DoublePartitioned1D
 from repro.util.errors import ShapeError

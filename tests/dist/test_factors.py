@@ -9,7 +9,7 @@ sub-blocking agrees with the reduce-scatter counts used in the iteration.
 import numpy as np
 import pytest
 
-from repro.comm.backend import run_spmd
+from repro.comm.backends import run_spmd
 from repro.comm.grid import ProcessGrid
 from repro.dist.factors import DistributedFactorH, DistributedFactorW
 from repro.dist.partition import block_counts, block_range

@@ -82,3 +82,15 @@ class TestCalibrate:
     def test_calibration_does_not_change_the_default(self):
         MachineSpec.calibrate(size=64, repeats=1)
         assert edison_machine().network is EDISON
+
+    def test_parallel_calibration_measures_contended_gemm_rate(self):
+        """ranks > 1 times the GEMM with that many concurrent OS processes,
+        so gamma prices plans against real parallel throughput."""
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            machine = MachineSpec.calibrate(size=96, repeats=1, ranks=2)
+        assert machine.name == "local-calibrated-p2"
+        assert math.isfinite(machine.network.gamma) and machine.network.gamma > 0
+        assert machine.dense_mm_efficiency == 1.0

@@ -70,7 +70,7 @@ def test_variants_command_lists_registry(capsys):
 
 
 def test_version_flag_matches_pyproject(capsys):
-    import tomllib
+    tomllib = pytest.importorskip("tomllib")  # stdlib from 3.11 on
 
     import repro
 
