@@ -1,13 +1,16 @@
 """Micro-benchmarks of the local NLS solvers (the "NLS" task of Figure 3).
 
 The multi-right-hand-side problem sizes mirror what one rank of HPC-NMF sees:
-a k×k Gram matrix with k in {10..50} and a few hundred columns.
+a k×k Gram matrix with k in {10..50} and a few hundred columns.  The BPP
+benchmarks are additionally parametrized over the registered kernels
+(``scalar`` vs ``batched`` vs ``numba`` when importable), which is where the
+passive-set-grouping payoff shows up.
 """
 
 import numpy as np
 import pytest
 
-from repro.nls import make_solver
+from repro.nls import available_kernels, make_solver
 
 
 def _problem(k, c, seed=0):
@@ -27,9 +30,23 @@ def test_nls_solver_speed(benchmark, solver_name, k):
     assert np.all(x >= 0)
 
 
-def test_bpp_many_small_columns(benchmark):
+@pytest.mark.parametrize("kernel", available_kernels())
+@pytest.mark.parametrize("k", [10, 30, 50])
+def test_bpp_kernel_speed(benchmark, kernel, k):
+    """Scalar vs batched (vs numba) BPP on the same multi-RHS problem."""
+    gram, rhs = _problem(k, c=400)
+    solver = make_solver("bpp", kernel=kernel)
+    solver.solve(gram, rhs)  # warm-up: JIT compilation for the numba kernel
+    x = benchmark(solver.solve, gram, rhs)
+    assert x.shape == rhs.shape
+    assert np.all(x >= 0)
+
+
+@pytest.mark.parametrize("kernel", available_kernels())
+def test_bpp_many_small_columns(benchmark, kernel):
     """The Webbase regime: many columns, small k."""
     gram, rhs = _problem(10, c=3000, seed=3)
-    solver = make_solver("bpp")
+    solver = make_solver("bpp", kernel=kernel)
+    solver.solve(gram, rhs)
     x = benchmark(solver.solve, gram, rhs)
     assert np.all(x >= 0)

@@ -11,6 +11,7 @@ from repro.bench.baseline import (
     load_baseline,
     render_baseline,
     run_baseline,
+    run_kernel_panel,
     write_baseline,
 )
 
@@ -20,5 +21,6 @@ __all__ = [
     "load_baseline",
     "render_baseline",
     "run_baseline",
+    "run_kernel_panel",
     "write_baseline",
 ]

@@ -29,6 +29,8 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> argparse.ArgumentPar
     parser.add_argument("--repeats", type=int, default=2,
                         help="best-of repeats per configuration (default 2)")
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--no-kernels", action="store_true",
+                        help="skip the BPP kernel microbenchmark panel")
     parser.add_argument("--out", default="benchmarks/results",
                         help="directory for the BENCH_*.json artifact")
     parser.add_argument("--label", default=None,
@@ -57,6 +59,7 @@ def main(argv=None, args: Optional[argparse.Namespace] = None) -> int:
         panels=tuple(args.panels),
         repeats=args.repeats,
         seed=args.seed,
+        kernels=not args.no_kernels,
     )
     path = write_baseline(payload, args.out, label=args.label)
     print(render_baseline(payload))

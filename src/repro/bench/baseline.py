@@ -67,6 +67,52 @@ def _panel_matrix(panel: str, spec: Dict[str, float], seed: int):
     )
 
 
+def run_kernel_panel(scale: str = "tiny", repeats: int = 3, seed: int = 7) -> dict:
+    """Microbenchmark every available BPP kernel on one NLS problem.
+
+    The problem is the dense panel's W-update: ``gram = H Hᵀ`` (k × k) and
+    ``rhs = H Aᵀ`` (k × m), i.e. ``m`` right-hand-side columns through one
+    solver call — exactly the shape the batched kernel's passive-set grouping
+    is built for.  Each kernel gets one warm-up solve (numba's JIT
+    compilation happens there, outside the timing) and is then timed
+    best-of-``repeats``.  Speedups are relative to the ``scalar`` kernel.
+    """
+    import numpy as np
+
+    from repro.nls import available_kernels, make_solver
+
+    spec = SCALES[scale]["dense"]
+    k, m, n = int(spec["k"]), int(spec["m"]), int(spec["n"])
+    A = np.asarray(_panel_matrix("dense", spec, seed))
+    rng = np.random.default_rng(seed)
+    H = np.abs(rng.standard_normal((k, n)))
+    gram_h = (H @ H.T + (H @ H.T).T) * 0.5
+    rhs = H @ A.T                                  # k × m: one column per row of W
+
+    rows: List[dict] = []
+    times: Dict[str, float] = {}
+    for kernel in available_kernels():
+        solver = make_solver("bpp", kernel=kernel)
+        solver.solve(gram_h, rhs)                  # warm-up (JIT compile for numba)
+        times[kernel] = min(
+            _timed(lambda: solver.solve(gram_h, rhs)) for _ in range(max(1, repeats))
+        )
+    for kernel, wall in times.items():
+        rows.append({
+            "kernel": kernel,
+            "wall_s": wall,
+            "columns_per_s": m / wall,
+            "speedup_vs_scalar": times["scalar"] / wall,
+        })
+    return {"panel": "dense", "k": k, "columns": m, "repeats": repeats, "rows": rows}
+
+
+def _timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
 def _timed_fit(A, k: int, iters: int, seed: int, repeats: int, **kwargs) -> Tuple[float, object]:
     """Best-of-``repeats`` wall seconds for one full ``fit`` (and its result)."""
     from repro.core.api import fit
@@ -89,6 +135,7 @@ def run_baseline(
     panels: Sequence[str] = ("dense", "sparse"),
     repeats: int = 2,
     seed: int = 7,
+    kernels: bool = True,
 ) -> dict:
     """Measure the Figure-3-style panels and return the baseline payload.
 
@@ -96,7 +143,10 @@ def run_baseline(
     and then ``variant`` on ``p`` ranks once per backend.  The headline
     ``speedups`` map carries ``<panel>:process_vs_thread`` whenever both
     backends were measured — the number the committed baseline puts a floor
-    under.
+    under.  With ``kernels`` (the default) the BPP kernel microbenchmark
+    (:func:`run_kernel_panel`) is appended under a separate ``"kernels"``
+    key, contributing ``bpp_<kernel>_vs_scalar`` speedups — the committed
+    baseline also floors ``bpp_batched_vs_scalar``.
     """
     if scale not in SCALES:
         raise ValueError(f"unknown scale {scale!r}; known: {sorted(SCALES)}")
@@ -148,6 +198,14 @@ def run_baseline(
             )
         for backend, wall in by_backend.items():
             payload["speedups"][f"{panel}:{backend}_vs_sequential"] = seq_wall / wall
+    if kernels:
+        kernel_panel = run_kernel_panel(scale=scale, repeats=max(2, repeats), seed=seed)
+        payload["kernels"] = kernel_panel
+        for row in kernel_panel["rows"]:
+            if row["kernel"] != "scalar":
+                payload["speedups"][f"bpp_{row['kernel']}_vs_scalar"] = (
+                    row["speedup_vs_scalar"]
+                )
     return payload
 
 
@@ -210,6 +268,18 @@ def render_baseline(payload: dict) -> str:
                 f"{panel['panel']:>7}  {row['variant']:>10}  "
                 f"{row['backend'] or '-':>8}  {grid:>6}  {row['wall_s']:>8.3f}  "
                 f"{row['iters_per_s']:>8.2f}  {row['speedup_vs_sequential']:>8.2f}"
+            )
+    kernel_panel = payload.get("kernels")
+    if kernel_panel:
+        lines.append(
+            f"BPP kernels (dense W-update, k={kernel_panel['k']}, "
+            f"columns={kernel_panel['columns']}):"
+        )
+        for row in kernel_panel["rows"]:
+            lines.append(
+                f"{'':>7}  {row['kernel']:>10}  {'-':>8}  {'-':>6}  "
+                f"{row['wall_s']:>8.3f}  {row['columns_per_s']:>8.0f}  "
+                f"{row['speedup_vs_scalar']:>8.2f}"
             )
     for metric, value in sorted(payload["speedups"].items()):
         lines.append(f"  {metric} = {value:.3f}")

@@ -32,11 +32,12 @@ from repro.core.api import fit
 from repro.core.variants import available_variants, get_variant
 from repro.data.registry import DATASETS, PAPER_DATASETS, load_dataset, measured_scale, paper_scale
 from repro.nls.base import available_solvers
+from repro.nls.kernels import registered_kernels
 from repro.perf.experiments import comparison_vs_k, strong_scaling, table3_grid
 from repro.perf.machine import MachineSpec, edison_machine, laptop_machine
 from repro.perf.report import render_breakdown_table, render_table3, to_csv
 from repro.plan import ProblemSpec, plan_candidates, render_plan_table
-from repro.util.errors import ShapeError
+from repro.util.errors import ShapeError, SolverError
 
 
 def _load_input(name_or_path: str):
@@ -87,6 +88,7 @@ def _cmd_factorize(args: argparse.Namespace) -> int:
         max_iters=args.iters,
         solver=args.solver,
         seed=args.seed,
+        **({"kernel": args.kernel} if args.kernel else {}),
     )
     print(result.summary())
     if args.save:
@@ -147,7 +149,12 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     else:
         raise SystemExit("pass a dataset name (e.g. SSYN) or --shape M N")
     machine = _resolve_machine(args.machine, ranks=args.ranks)
-    plans = plan_candidates(problem, args.ranks, machine=machine)
+    try:
+        plans = plan_candidates(
+            problem, args.ranks, machine=machine, kernel=args.kernel
+        )
+    except SolverError as exc:  # e.g. --kernel numba without numba installed
+        raise SystemExit(str(exc)) from None
     print(render_plan_table(plans))
     return 0
 
@@ -232,6 +239,12 @@ def build_parser() -> argparse.ArgumentParser:
                            "ignored by sequential-only variants")
     fact.add_argument("--solver", default="bpp", choices=available_solvers(),
                       help="local NLS solver by registry name")
+    fact.add_argument("--kernel", default=None,
+                      choices=registered_kernels() + ["auto"],
+                      help="BPP inner engine (scalar = reference column loop, "
+                           "batched = vectorized + stacked Cholesky, numba = "
+                           "JIT-compiled when numba is installed, auto = "
+                           "fastest available); default scalar")
     fact.add_argument("--iters", type=int, default=20, help="outer iterations")
     fact.add_argument("--seed", type=int, default=42)
     fact.add_argument("--save", help="write the full result to this .npz path")
@@ -266,6 +279,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="machine constants to price against ('local' micro-benchmarks "
              "this host via MachineSpec.calibrate)",
     )
+    plan.add_argument("--kernel", default=None,
+                      choices=registered_kernels() + ["auto"],
+                      help="price the NLS term for this BPP kernel "
+                           "(calibrated machines use measured per-kernel "
+                           "throughput ratios)")
     plan.set_defaults(func=_cmd_plan)
 
     var = sub.add_parser("variants", help="list registered NMF variants")

@@ -75,12 +75,20 @@ def anls_nmf(
         observer_list.append(CallbackObserver(callback))
     control = LoopControl(config, observer_list, variant="sequential").start()
 
+    # Gram cache across ANLS half-iterations: when the error path computes
+    # H Hᵀ for the objective, the next iteration's W-update reuses it
+    # bit-for-bit instead of recomputing the same product.
+    cached_gram_h = None
+
     for iteration in range(config.max_iters):
         iter_start = time.perf_counter()
 
         # --- W-update: argmin_W ||A - W H|| via (H Hᵀ) Wᵀ = H Aᵀ -----------
-        with profiler.task(TaskCategory.GRAM):
-            gram_h = gram(H, transpose_first=False)  # H Hᵀ, k × k
+        if cached_gram_h is not None:
+            gram_h = cached_gram_h
+        else:
+            with profiler.task(TaskCategory.GRAM):
+                gram_h = gram(H, transpose_first=False)  # H Hᵀ, k × k
         with profiler.task(TaskCategory.MM):
             a_ht = matmul_a_ht(A, H.T)               # A Hᵀ, m × k
         with profiler.task(TaskCategory.NLS):
@@ -99,7 +107,9 @@ def anls_nmf(
         if config.compute_error:
             # Gram trick: the cross term reuses Wᵀ A and the new H.
             cross = float(np.vdot(wt_a, H))
-            gram_h_new = gram(H, transpose_first=False)
+            with profiler.task(TaskCategory.GRAM):
+                gram_h_new = gram(H, transpose_first=False)
+            cached_gram_h = gram_h_new
             objective = objective_from_grams(norm_a_sq, cross, gram_w, gram_h_new)
             rel_error = float(np.sqrt(objective / norm_a_sq)) if norm_a_sq > 0 else 0.0
         if control.record(

@@ -76,6 +76,12 @@ class NMFConfig:
         (one OS process per rank over shared memory — true parallelism,
         the measured-speedup substrate).  See :mod:`repro.comm.backends`.
         Ignored by the sequential algorithm.
+    kernel:
+        BPP inner-engine selection, by kernels-registry name: ``"scalar"``
+        (default; the reference column loop), ``"batched"`` (vectorized pivot
+        rules + stacked Cholesky, byte-identical to scalar), ``"numba"``
+        (JIT-compiled, requires numba) or ``"auto"`` (fastest available).
+        See :mod:`repro.nls.kernels`.  Ignored by the element-wise solvers.
     """
 
     k: int
@@ -89,6 +95,7 @@ class NMFConfig:
     compute_error: bool = True
     inner_iters: int = 1
     backend: str = "thread"
+    kernel: str = "scalar"
 
     def __post_init__(self):
         if self.k < 1:
@@ -105,6 +112,10 @@ class NMFConfig:
             raise ShapeError(
                 f"backend must be a backend registry name, got {self.backend!r}"
             )
+        if not isinstance(self.kernel, str) or not self.kernel:
+            raise ShapeError(
+                f"kernel must be a kernels registry name, got {self.kernel!r}"
+            )
         # Normalise the algorithm field so strings are accepted.
         object.__setattr__(self, "algorithm", Algorithm(self.algorithm))
 
@@ -117,5 +128,7 @@ class NMFConfig:
         from repro.nls import make_solver
 
         if self.solver in ("mu", "hals"):
-            return make_solver(self.solver, inner_iters=self.inner_iters)
-        return make_solver(self.solver)
+            return make_solver(
+                self.solver, inner_iters=self.inner_iters, kernel=self.kernel
+            )
+        return make_solver(self.solver, kernel=self.kernel)

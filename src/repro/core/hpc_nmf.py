@@ -169,14 +169,25 @@ def hpc_nmf(
     variant_name = "hpc1d" if config.algorithm == Algorithm.HPC_1D else "hpc2d"
     control = LoopControl(config, observers, comm=comm, variant=variant_name).start()
 
+    # Gram cache across half-iterations: the error path's all-reduced H Hᵀ is
+    # exactly the quantity lines 3-4 recompute next iteration (same local
+    # grams, same rank-ordered reduction → same bits), so reusing it skips a
+    # Gram and an all-reduce per iteration whenever the objective is tracked.
+    # Every rank takes this branch in the same iterations, so the collective
+    # schedule stays aligned.
+    cached_gram_h = None
+
     for iteration in range(config.max_iters):
         iter_start = time.perf_counter()
 
         # ---------------- Compute W given H (lines 3-8) --------------------
-        with profiler.task(TaskCategory.GRAM):
-            U_ij = gram(H_fac.local, transpose_first=False)          # line 3
-        with profiler.task(TaskCategory.ALL_REDUCE):
-            gram_h = comm.allreduce(U_ij, out=gram_h_buf)            # line 4
+        if cached_gram_h is not None:
+            gram_h = cached_gram_h
+        else:
+            with profiler.task(TaskCategory.GRAM):
+                U_ij = gram(H_fac.local, transpose_first=False)      # line 3
+            with profiler.task(TaskCategory.ALL_REDUCE):
+                gram_h = comm.allreduce(U_ij, out=gram_h_buf)        # line 4
         with profiler.task(TaskCategory.ALL_GATHER):
             H_j = H_fac.col_block(out=H_j_buf)                       # line 5
         with profiler.task(TaskCategory.MM):
@@ -216,6 +227,7 @@ def hpc_nmf(
                 gram_h_new = comm.allreduce(
                     gram(H_fac.local, transpose_first=False), out=gram_h_new_buf
                 )
+            cached_gram_h = gram_h_new
             objective = objective_from_grams(norm_a_sq, cross, gram_w, gram_h_new)
             rel_error = float(np.sqrt(objective / norm_a_sq)) if norm_a_sq > 0 else 0.0
         if control.record(

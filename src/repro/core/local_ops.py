@@ -89,3 +89,9 @@ def matmul_flops(A_block, k: int) -> float:
         return sparse_matmul_flops(A_block.nnz, k)
     m_local, n_local = A_block.shape
     return dense_matmul_flops(m_local, n_local, k)
+
+
+# The NLS-side flop primitives (Cholesky factorization and triangular
+# substitution) live next to the kernels that tally them; re-exported here so
+# all §4.3 flop accounting is importable from one module.
+from repro.nls.kernels import cholesky_flops, triangular_solve_flops  # noqa: E402,F401

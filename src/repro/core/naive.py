@@ -102,14 +102,25 @@ def naive_parallel_nmf(
     W_full_buf = ws.get("W_full", (m, k))
     gram_h_new_buf = ws.get("gram_h_new", (k, k))
 
+    # Gram cache across half-iterations: the error path already all-reduces
+    # H Hᵀ from the per-rank pieces, which is the same quantity (up to
+    # summation order — within solver tolerance) that the next iteration
+    # recomputes redundantly from the gathered H.  Reusing it removes one of
+    # §4.3's redundant O(nk²) per-rank Grams whenever the objective is
+    # tracked; every rank takes the branch in the same iterations.
+    cached_gram_h = None
+
     for iteration in range(config.max_iters):
         iter_start = time.perf_counter()
 
         # --- Compute W given H (lines 3-4) --------------------------------
         with profiler.task(TaskCategory.ALL_GATHER):
             H = comm.allgatherv(H_local, axis=1, out=H_full_buf)   # full k × n
-        with profiler.task(TaskCategory.GRAM):
-            gram_h = gram(H, transpose_first=False)        # redundant on every rank
+        if cached_gram_h is not None:
+            gram_h = cached_gram_h
+        else:
+            with profiler.task(TaskCategory.GRAM):
+                gram_h = gram(H, transpose_first=False)    # redundant on every rank
         with profiler.task(TaskCategory.MM):
             a_ht = matmul_a_ht(data.row_block, H.T)        # (m/p) × k
         with profiler.task(TaskCategory.NLS):
@@ -137,6 +148,7 @@ def naive_parallel_nmf(
                 gram_h_new = comm.allreduce(
                     gram(H_local, transpose_first=False), out=gram_h_new_buf
                 )
+            cached_gram_h = gram_h_new
             objective = objective_from_grams(norm_a_sq, cross, gram_w, gram_h_new)
             rel_error = float(np.sqrt(objective / norm_a_sq)) if norm_a_sq > 0 else 0.0
         if control.record(

@@ -22,9 +22,21 @@ Implemented solvers:
   route mentioned in §4.1);
 * :func:`~repro.nls.nnls.active_set_nnls` — single right-hand-side
   Lawson–Hanson active set, used as a correctness oracle in the tests.
+
+BPP's inner engine is pluggable via the kernels registry
+(:mod:`repro.nls.kernels`): ``scalar`` (the reference column loop),
+``batched`` (vectorized pivot rules + stacked Cholesky, byte-identical to
+scalar) and ``numba`` (JIT-compiled, behind a capability flag).
 """
 
 from repro.nls.base import NLSSolver, NLSState, make_solver, available_solvers
+from repro.nls.kernels import (
+    NLSKernel,
+    available_kernels,
+    make_kernel,
+    registered_kernels,
+    resolve_kernel,
+)
 from repro.nls.bpp import BlockPrincipalPivoting
 from repro.nls.mu import MultiplicativeUpdate
 from repro.nls.hals import HALSUpdate
@@ -38,6 +50,11 @@ __all__ = [
     "NLSState",
     "make_solver",
     "available_solvers",
+    "NLSKernel",
+    "make_kernel",
+    "available_kernels",
+    "registered_kernels",
+    "resolve_kernel",
     "BlockPrincipalPivoting",
     "MultiplicativeUpdate",
     "HALSUpdate",

@@ -48,8 +48,9 @@ class ADMMSolver(NLSSolver):
 
     name = "admm"
 
-    def __init__(self, rho: Optional[float] = None, max_iters: int = 100, tol: float = 1e-8):
-        super().__init__()
+    def __init__(self, rho: Optional[float] = None, max_iters: int = 100, tol: float = 1e-8,
+                 kernel=None):
+        super().__init__(kernel=kernel)
         self.rho = rho
         self.max_iters = int(max_iters)
         self.tol = float(tol)

@@ -39,13 +39,21 @@ class NLSState:
 
 
 class NLSSolver(abc.ABC):
-    """Abstract base class for normal-equations NLS solvers."""
+    """Abstract base class for normal-equations NLS solvers.
+
+    Every solver accepts a ``kernel`` selection (``'scalar'``, ``'batched'``,
+    ``'numba'``, ``'auto'`` or ``None`` for the default) so the front door can
+    pass it uniformly; solvers with a pluggable inner engine (currently BPP)
+    resolve it via :mod:`repro.nls.kernels`, the element-wise solvers simply
+    record the request and ignore it.
+    """
 
     #: registry name; subclasses override
     name: str = "abstract"
 
-    def __init__(self) -> None:
+    def __init__(self, kernel: Optional[str] = None) -> None:
         self.last_state: Optional[NLSState] = None
+        self.requested_kernel = kernel
 
     @abc.abstractmethod
     def solve(

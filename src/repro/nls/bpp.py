@@ -21,17 +21,19 @@ This implementation solves many right-hand sides at once (the c columns of the
 factor being updated): columns that share the same passive set are grouped so
 one Cholesky factorization of ``G[F, F]`` serves the whole group — the
 standard trick that makes BPP practical for NMF, where c is m/p or n/p and k
-is small.
+is small.  The inner engine that does the grouping, factorization and pivot
+bookkeeping is pluggable: see :mod:`repro.nls.kernels` for the ``scalar`` /
+``batched`` / ``numba`` kernels and their byte-identity contract.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Optional
 
 import numpy as np
-import scipy.linalg as sla
 
-from repro.nls.base import NLSSolver, NLSState, register_solver
+from repro.nls.base import NLSSolver, register_solver
+from repro.nls.kernels import ScalarKernel, make_kernel
 from repro.util.errors import SolverError
 
 
@@ -44,33 +46,14 @@ def _solve_passive_groups(
 ) -> None:
     """Solve the unconstrained LS on the passive set of each listed column.
 
-    Columns are grouped by identical passive-set pattern; each group is solved
-    with a single Cholesky (or pseudo-inverse fallback for singular blocks).
+    Compatibility wrapper around the scalar kernel's group solve (the
+    grouping/factorization logic now lives in :mod:`repro.nls.kernels`).
     ``x`` is updated in place; entries outside the passive set are set to 0.
     """
-    k = gram.shape[0]
-    if columns.size == 0:
-        return
-    patterns: Dict[bytes, list] = {}
-    for col in columns:
-        patterns.setdefault(passive[:, col].tobytes(), []).append(col)
-    for pattern, cols in patterns.items():
-        mask = np.frombuffer(pattern, dtype=bool)
-        cols = np.asarray(cols)
-        x[:, cols] = 0.0
-        idx = np.flatnonzero(mask)
-        if idx.size == 0:
-            continue
-        sub_gram = gram[np.ix_(idx, idx)]
-        sub_rhs = rhs[np.ix_(idx, cols)]
-        try:
-            chol = sla.cho_factor(sub_gram, lower=True, check_finite=False)
-            sol = sla.cho_solve(chol, sub_rhs, check_finite=False)
-        except np.linalg.LinAlgError:
-            sol = np.linalg.lstsq(sub_gram, sub_rhs, rcond=None)[0]
-        except sla.LinAlgError:
-            sol = np.linalg.lstsq(sub_gram, sub_rhs, rcond=None)[0]
-        x[np.ix_(idx, cols)] = sol
+    from repro.nls.base import NLSState
+
+    state = NLSState(extra={"cholesky_flops": 0.0, "triangular_solve_flops": 0.0})
+    ScalarKernel._solve_groups(gram, rhs, passive, x, np.asarray(columns), {}, state)
 
 
 @register_solver
@@ -89,15 +72,26 @@ class BlockPrincipalPivoting(NLSSolver):
     tol:
         Feasibility tolerance: entries of x and y above ``-tol`` count as
         nonnegative.
+    kernel:
+        Inner-engine selection: ``'scalar'`` (default), ``'batched'``,
+        ``'numba'``, or ``'auto'`` (fastest available).  See
+        :mod:`repro.nls.kernels`.
     """
 
     name = "bpp"
 
-    def __init__(self, max_backup: int = 3, max_iters: int = 1000, tol: float = 1e-12):
-        super().__init__()
+    def __init__(
+        self,
+        max_backup: int = 3,
+        max_iters: int = 1000,
+        tol: float = 1e-12,
+        kernel: Optional[str] = None,
+    ):
+        super().__init__(kernel=kernel)
         self.max_backup = int(max_backup)
         self.max_iters = int(max_iters)
         self.tol = float(tol)
+        self.kernel = make_kernel(kernel)
 
     def solve(
         self,
@@ -106,7 +100,7 @@ class BlockPrincipalPivoting(NLSSolver):
         x0: Optional[np.ndarray] = None,
     ) -> np.ndarray:
         gram, rhs, x0 = self._validate(gram, rhs, x0)
-        k, c = rhs.shape
+        k, _ = rhs.shape
 
         # Regularize an exactly singular Gram matrix minimally; the NMF outer
         # iteration keeps Gram well conditioned in practice (k << m, n).
@@ -114,73 +108,40 @@ class BlockPrincipalPivoting(NLSSolver):
         if np.any(diag <= 0):
             gram = gram + np.eye(k) * max(np.max(diag), 1.0) * 1e-14
 
-        x = np.zeros((k, c))
-        y = -rhs.copy()
-        # Start from the all-active partition (x = 0, y = -CᵀB), the standard
-        # cold start; a warm start seeds the passive set from x0's support.
-        passive = np.zeros((k, c), dtype=bool)
-        if x0 is not None and np.any(x0 > 0):
-            passive = x0 > 0
-            cols = np.arange(c)
-            _solve_passive_groups(gram, rhs, passive, x, cols)
-            y = gram @ x - rhs
-
-        alpha = np.full(c, self.max_backup)  # remaining full exchanges per column
-        beta = np.full(c, k + 1)  # best (lowest) infeasibility count seen per column
-
-        state = NLSState()
-        for iteration in range(self.max_iters):
-            x_infeasible = passive & (x < -self.tol)
-            y_infeasible = (~passive) & (y < -self.tol)
-            infeasible = x_infeasible | y_infeasible
-            n_infeasible = infeasible.sum(axis=0)
-            not_done = np.flatnonzero(n_infeasible > 0)
-            if not_done.size == 0:
-                state.iterations = iteration
-                state.converged = True
-                break
-
-            for col in not_done:
-                count = n_infeasible[col]
-                if count < beta[col]:
-                    # Progress: remember the new best and reset the budget.
-                    beta[col] = count
-                    alpha[col] = self.max_backup
-                    exchange = infeasible[:, col]
-                    state.full_exchanges += 1
-                elif alpha[col] >= 1:
-                    # No progress but budget remains: full exchange anyway.
-                    alpha[col] -= 1
-                    exchange = infeasible[:, col]
-                    state.full_exchanges += 1
-                else:
-                    # Backup rule: exchange only the largest infeasible index.
-                    exchange = np.zeros(k, dtype=bool)
-                    exchange[np.flatnonzero(infeasible[:, col]).max()] = True
-                    state.backup_exchanges += 1
-                passive[exchange, col] = ~passive[exchange, col]
-
-            _solve_passive_groups(gram, rhs, passive, x, not_done)
-            y[:, not_done] = gram @ x[:, not_done] - rhs[:, not_done]
-        else:
-            state.iterations = self.max_iters
-            state.converged = False
+        x, state = self.kernel.solve(
+            gram,
+            rhs,
+            x0,
+            max_backup=self.max_backup,
+            max_iters=self.max_iters,
+            tol=self.tol,
+        )
+        self.last_state = state
+        if not state.converged:
             raise SolverError(
                 f"BPP did not converge within {self.max_iters} pivoting iterations"
             )
 
         # Clamp tiny negatives introduced by finite precision.
         np.maximum(x, 0.0, out=x)
-        self.last_state = state
         return x
 
 
-def bpp_flops_estimate(k: int, c: int, iterations: int = 5) -> float:
-    """Rough flop count ``C_BPP(k, c)`` used by the analytic performance model.
+def bpp_flops_estimate(
+    k: int, c: int, iterations: int = 5, grouping_factor: float = 0.5
+) -> float:
+    """Flop count ``C_BPP(k, c)`` used by the analytic performance model.
 
-    Each pivoting iteration factorizes (on average) one k×k system per passive
-    set pattern and back-substitutes c columns: about ``k³/3 + 2 c k²`` flops.
-    The paper leaves ``C_BPP`` symbolic; this estimate is only used to give the
-    modeled NLS bars a realistic magnitude relative to the matmul terms.
+    Each pivoting iteration factorizes one k×k passive block *per distinct
+    passive-set pattern* — on average ``grouping_factor · c`` patterns, since
+    columns sharing a pattern share the Cholesky (the grouping trick above) —
+    and back-substitutes all ``c`` columns:
+
+        iterations · (grouping_factor · c · k³/3  +  2 c k²)
+
+    The paper leaves ``C_BPP`` symbolic; this estimate gives the modeled NLS
+    bars a realistic magnitude relative to the matmul terms, and the kernels
+    report their *measured* counterpart in ``NLSState.extra`` (pinned against
+    this formula by ``tests/nls/test_kernels.py``).
     """
-    return iterations * (k**3 / 3.0 + 2.0 * c * k**2)
+    return iterations * (grouping_factor * c * k**3 / 3.0 + 2.0 * c * k**2)

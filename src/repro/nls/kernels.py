@@ -1,0 +1,475 @@
+"""NLS kernels registry: interchangeable inner engines for the BPP solver.
+
+The PR-5 bench baseline showed that ~60% of per-rank time is spent inside the
+pure-Python column-at-a-time BPP pivot loop — the local NLS solve that Kannan,
+Ballard & Park implement as a dense batched kernel to get their MPI-scale
+wins.  This module factors that inner engine out of
+:class:`~repro.nls.bpp.BlockPrincipalPivoting` into a *kernel* registry that
+mirrors the variant (``repro.core.variants``), solver (``repro.nls.base``) and
+backend (``repro.comm.backends``) registries:
+
+``scalar``
+    The original column-at-a-time driver: a Python loop applies the Kim &
+    Park exchange rules per column, and columns sharing a passive-set pattern
+    are grouped so one Cholesky serves the group.  Always available.
+``batched``
+    A fully vectorized driver: the exchange rules are applied to all columns
+    at once with boolean array arithmetic, passive-set patterns are grouped
+    with ``packbits``/``lexsort`` instead of a Python dict, and all
+    same-size passive blocks are factorized with ONE stacked
+    ``np.linalg.cholesky`` call.  Always available; byte-identical to
+    ``scalar`` (see below).
+``numba``
+    A JIT-compiled per-column engine (``repro.nls.kernels_numba``), selected
+    at runtime behind a capability flag; when numba is not importable the
+    kernel reports itself unavailable and ``auto`` falls back to ``batched``.
+
+Byte-identity contract
+----------------------
+``scalar`` and ``batched`` share the exact same floating-point primitives —
+``np.linalg.cholesky`` for factorization (whose stacked gufunc is bit-identical
+to per-matrix calls), ``scipy.linalg.cho_solve`` for the triangular solves,
+and the same ``gram @ x - rhs`` dual update — so the two kernels produce
+byte-identical solutions.  ``tests/core/test_kernel_parity.py`` pins this at
+the full-factorization level.  The ``numba`` kernel uses its own compiled
+Cholesky and is only guaranteed to agree to solver tolerance.
+
+Both NumPy kernels also keep a per-solve factorization cache keyed by the
+passive-set pattern: a pattern revisited in a later pivot round reuses the
+factor computed earlier (the Gram matrix never changes within a solve), which
+is bit-safe because recomputing would produce the same bits.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional, Tuple, Type
+
+import numpy as np
+import scipy.linalg as sla
+
+from repro.nls.base import NLSState
+from repro.util.errors import SolverError
+
+__all__ = [
+    "NLSKernel",
+    "ScalarKernel",
+    "BatchedKernel",
+    "NumbaKernel",
+    "register_kernel",
+    "registered_kernels",
+    "available_kernels",
+    "resolve_kernel",
+    "make_kernel",
+    "cholesky_flops",
+    "triangular_solve_flops",
+]
+
+
+# -- flop accounting primitives ---------------------------------------------
+def cholesky_flops(size: int) -> float:
+    """Flops to factorize one ``size × size`` SPD block (``s³/3``)."""
+    return size**3 / 3.0
+
+
+def triangular_solve_flops(size: int, columns: int = 1) -> float:
+    """Flops for forward+back substitution of ``columns`` RHS (``2 s² c``)."""
+    return 2.0 * size * size * columns
+
+
+# -- shared numerical primitives --------------------------------------------
+# Every kernel that claims byte-parity must route factorization and
+# triangular solves through these two helpers so the bits agree by
+# construction, not by coincidence.
+
+
+def _factorize_pattern(
+    gram: np.ndarray, idx: np.ndarray, state: NLSState
+) -> Optional[np.ndarray]:
+    """Cholesky factor of ``gram[idx, idx]`` or ``None`` if singular."""
+    try:
+        L = np.linalg.cholesky(gram[np.ix_(idx, idx)])
+    except np.linalg.LinAlgError:
+        return None
+    state.extra["cholesky_flops"] += cholesky_flops(idx.size)
+    return L
+
+
+def _apply_pattern_solve(
+    gram: np.ndarray,
+    rhs: np.ndarray,
+    idx: np.ndarray,
+    L: Optional[np.ndarray],
+    cols: np.ndarray,
+    x: np.ndarray,
+    state: NLSState,
+) -> None:
+    """Solve the passive-restricted system for one pattern group, in place."""
+    sub_rhs = rhs[np.ix_(idx, cols)]
+    if L is None:
+        # Singular passive block: minimum-norm solution, as before.
+        sol = np.linalg.lstsq(gram[np.ix_(idx, idx)], sub_rhs, rcond=None)[0]
+    else:
+        sol = sla.cho_solve((L, True), sub_rhs, check_finite=False)
+        state.extra["triangular_solve_flops"] += triangular_solve_flops(
+            idx.size, cols.size
+        )
+    x[np.ix_(idx, cols)] = sol
+
+
+class NLSKernel(abc.ABC):
+    """One interchangeable inner engine for the BPP normal-equations solve."""
+
+    #: registry name; subclasses override
+    name: str = "abstract"
+
+    @classmethod
+    def is_available(cls) -> bool:
+        """Whether this kernel can run on the current host."""
+        return True
+
+    @abc.abstractmethod
+    def solve(
+        self,
+        gram: np.ndarray,
+        rhs: np.ndarray,
+        x0: Optional[np.ndarray],
+        *,
+        max_backup: int,
+        max_iters: int,
+        tol: float,
+    ) -> Tuple[np.ndarray, NLSState]:
+        """Run BPP on pre-validated inputs; return ``(x, state)``.
+
+        ``x`` may contain tiny negatives (the solver shell clamps); ``state``
+        carries pivot diagnostics plus measured flop tallies in
+        ``state.extra['cholesky_flops']`` / ``['triangular_solve_flops']``.
+        """
+
+    # -- shared driver pieces ------------------------------------------------
+    @staticmethod
+    def _fresh_state() -> NLSState:
+        return NLSState(extra={"cholesky_flops": 0.0, "triangular_solve_flops": 0.0})
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+# -- registry ----------------------------------------------------------------
+_KERNELS: Dict[str, Type[NLSKernel]] = {}
+
+
+def register_kernel(cls: Type[NLSKernel]) -> Type[NLSKernel]:
+    """Class decorator adding a kernel to the ``make_kernel`` registry."""
+    _KERNELS[cls.name] = cls
+    return cls
+
+
+def registered_kernels() -> List[str]:
+    """Every registered kernel name, whether or not it can run here."""
+    return sorted(_KERNELS)
+
+
+def available_kernels() -> List[str]:
+    """Kernel names that can actually run on this host."""
+    return [name for name in sorted(_KERNELS) if _KERNELS[name].is_available()]
+
+
+def resolve_kernel(name: Optional[str]) -> str:
+    """Normalize a requested kernel name to a concrete, available one.
+
+    ``None`` means "the default" (``scalar``, preserving historical
+    behaviour); ``"auto"`` picks the fastest available engine (``numba`` when
+    importable, else ``batched``).  Explicitly requesting an unavailable or
+    unknown kernel raises :class:`SolverError` — a typo must not silently
+    fall back.
+    """
+    if name is None:
+        return "scalar"
+    name = name.lower()
+    if name == "auto":
+        return "numba" if _KERNELS["numba"].is_available() else "batched"
+    if name not in _KERNELS:
+        raise SolverError(
+            f"unknown NLS kernel {name!r}; registered: {registered_kernels()} "
+            "(or 'auto')"
+        )
+    if not _KERNELS[name].is_available():
+        raise SolverError(
+            f"NLS kernel {name!r} is not available on this host "
+            f"(is its runtime dependency installed?); available: "
+            f"{available_kernels()}"
+        )
+    return name
+
+
+def make_kernel(name: Optional[str] = None) -> NLSKernel:
+    """Instantiate a kernel by name ('scalar', 'batched', 'numba', 'auto')."""
+    return _KERNELS[resolve_kernel(name)]()
+
+
+# -- kernels -----------------------------------------------------------------
+@register_kernel
+class ScalarKernel(NLSKernel):
+    """The original column-at-a-time BPP engine (pure NumPy + Python loop).
+
+    Columns sharing a passive-set pattern are grouped in a dict so one
+    Cholesky serves the group; a per-solve cache reuses factors across pivot
+    rounds.  This is the reference engine every other kernel is tested
+    against.
+    """
+
+    name = "scalar"
+
+    def solve(self, gram, rhs, x0, *, max_backup, max_iters, tol):
+        k, c = rhs.shape
+        state = self._fresh_state()
+        cache: Dict[bytes, Tuple[np.ndarray, Optional[np.ndarray]]] = {}
+
+        x = np.zeros((k, c))
+        y = -rhs.copy()
+        passive = np.zeros((k, c), dtype=bool)
+        if x0 is not None and np.any(x0 > 0):
+            passive = x0 > 0
+            self._solve_groups(gram, rhs, passive, x, np.arange(c), cache, state)
+            y = gram @ x - rhs
+
+        alpha = np.full(c, max_backup)  # remaining full exchanges per column
+        beta = np.full(c, k + 1)  # best (lowest) infeasibility count per column
+
+        for iteration in range(max_iters):
+            x_infeasible = passive & (x < -tol)
+            y_infeasible = (~passive) & (y < -tol)
+            infeasible = x_infeasible | y_infeasible
+            n_infeasible = infeasible.sum(axis=0)
+            not_done = np.flatnonzero(n_infeasible > 0)
+            if not_done.size == 0:
+                state.iterations = iteration
+                state.converged = True
+                break
+
+            for col in not_done:
+                count = n_infeasible[col]
+                if count < beta[col]:
+                    # Progress: remember the new best and reset the budget.
+                    beta[col] = count
+                    alpha[col] = max_backup
+                    exchange = infeasible[:, col]
+                    state.full_exchanges += 1
+                elif alpha[col] >= 1:
+                    # No progress but budget remains: full exchange anyway.
+                    alpha[col] -= 1
+                    exchange = infeasible[:, col]
+                    state.full_exchanges += 1
+                else:
+                    # Backup rule: exchange only the largest infeasible index.
+                    exchange = np.zeros(k, dtype=bool)
+                    exchange[np.flatnonzero(infeasible[:, col]).max()] = True
+                    state.backup_exchanges += 1
+                passive[exchange, col] = ~passive[exchange, col]
+
+            self._solve_groups(gram, rhs, passive, x, not_done, cache, state)
+            y[:, not_done] = gram @ x[:, not_done] - rhs[:, not_done]
+        else:
+            state.iterations = max_iters
+            state.converged = False
+        return x, state
+
+    @staticmethod
+    def _solve_groups(gram, rhs, passive, x, columns, cache, state):
+        if columns.size == 0:
+            return
+        patterns: Dict[bytes, list] = {}
+        for col in columns:
+            patterns.setdefault(passive[:, col].tobytes(), []).append(col)
+        for pattern, cols in patterns.items():
+            cols = np.asarray(cols)
+            x[:, cols] = 0.0
+            entry = cache.get(pattern)
+            if entry is None:
+                idx = np.flatnonzero(np.frombuffer(pattern, dtype=bool))
+                L = _factorize_pattern(gram, idx, state) if idx.size else None
+                entry = (idx, L)
+                cache[pattern] = entry
+            idx, L = entry
+            if idx.size == 0:
+                continue
+            _apply_pattern_solve(gram, rhs, idx, L, cols, x, state)
+
+
+@register_kernel
+class BatchedKernel(NLSKernel):
+    """Vectorized BPP engine: batched pivot rules + stacked Cholesky.
+
+    Per pivot round the exchange rules are applied to every unconverged
+    column at once with boolean array arithmetic; passive-set patterns are
+    grouped via ``packbits``/``lexsort``; and all uncached same-size passive
+    blocks are factorized with a single stacked ``np.linalg.cholesky`` call
+    (one LAPACK dispatch instead of one per pattern).  Because NumPy's
+    stacked Cholesky gufunc produces the same bits as per-matrix calls, and
+    the triangular solves go through the same ``cho_solve`` primitive, this
+    kernel is byte-identical to :class:`ScalarKernel`.
+    """
+
+    name = "batched"
+
+    def solve(self, gram, rhs, x0, *, max_backup, max_iters, tol):
+        k, c = rhs.shape
+        state = self._fresh_state()
+        cache: Dict[bytes, Tuple[np.ndarray, Optional[np.ndarray]]] = {}
+
+        x = np.zeros((k, c))
+        y = -rhs.copy()
+        passive = np.zeros((k, c), dtype=bool)
+        if x0 is not None and np.any(x0 > 0):
+            passive = x0 > 0
+            self._solve_groups(gram, rhs, passive, x, np.arange(c), cache, state)
+            y = gram @ x - rhs
+
+        alpha = np.full(c, max_backup)
+        beta = np.full(c, k + 1)
+
+        for iteration in range(max_iters):
+            x_infeasible = passive & (x < -tol)
+            y_infeasible = (~passive) & (y < -tol)
+            infeasible = x_infeasible | y_infeasible
+            n_infeasible = infeasible.sum(axis=0)
+            not_done = np.flatnonzero(n_infeasible > 0)
+            if not_done.size == 0:
+                state.iterations = iteration
+                state.converged = True
+                break
+
+            # Kim & Park's three exchange rules, applied to all columns at once.
+            counts = n_infeasible[not_done]
+            improved = counts < beta[not_done]
+            budget = (~improved) & (alpha[not_done] >= 1)
+            full_mask = improved | budget
+            beta[not_done[improved]] = counts[improved]
+            alpha[not_done[improved]] = max_backup
+            alpha[not_done[budget]] -= 1
+
+            full_cols = not_done[full_mask]
+            backup_cols = not_done[~full_mask]
+            state.full_exchanges += int(full_cols.size)
+            state.backup_exchanges += int(backup_cols.size)
+            if full_cols.size:
+                passive[:, full_cols] ^= infeasible[:, full_cols]
+            if backup_cols.size:
+                # Largest infeasible index per backup column.
+                rows = (k - 1) - np.argmax(infeasible[::-1][:, backup_cols], axis=0)
+                passive[rows, backup_cols] = ~passive[rows, backup_cols]
+
+            self._solve_groups(gram, rhs, passive, x, not_done, cache, state)
+            y[:, not_done] = gram @ x[:, not_done] - rhs[:, not_done]
+        else:
+            state.iterations = max_iters
+            state.converged = False
+        return x, state
+
+    @staticmethod
+    def _solve_groups(gram, rhs, passive, x, columns, cache, state):
+        if columns.size == 0:
+            return
+        # Group columns by passive-set pattern without a Python dict pass:
+        # pack each pattern into bytes, lex-sort, and split at boundaries.
+        pats = passive[:, columns]
+        packed = np.packbits(pats, axis=0)
+        order = np.lexsort(packed[::-1])
+        sorted_cols = columns[order]
+        sorted_packed = packed[:, order]
+        if sorted_cols.size > 1:
+            changed = np.any(sorted_packed[:, 1:] != sorted_packed[:, :-1], axis=0)
+            boundaries = np.flatnonzero(changed) + 1
+            groups = np.split(sorted_cols, boundaries)
+        else:
+            groups = [sorted_cols]
+
+        # Factorize every uncached pattern, batching same-size blocks into a
+        # single stacked Cholesky call.
+        group_keys = []
+        to_factor: Dict[int, list] = {}
+        for cols in groups:
+            key = passive[:, cols[0]].tobytes()
+            group_keys.append(key)
+            if key in cache:
+                continue
+            idx = np.flatnonzero(passive[:, cols[0]])
+            if idx.size == 0:
+                cache[key] = (idx, None)
+            else:
+                to_factor.setdefault(idx.size, []).append((key, idx))
+                cache[key] = (idx, None)  # placeholder, filled below
+        for size, entries in to_factor.items():
+            if len(entries) == 1:
+                key, idx = entries[0]
+                cache[key] = (idx, _factorize_pattern(gram, idx, state))
+                continue
+            idx_mat = np.array([idx for _, idx in entries])
+            stack = gram[idx_mat[:, :, None], idx_mat[:, None, :]]
+            try:
+                factors = np.linalg.cholesky(stack)
+            except np.linalg.LinAlgError:
+                # At least one singular block: fall back to per-pattern calls
+                # (bit-identical for the nonsingular ones).
+                for key, idx in entries:
+                    cache[key] = (idx, _factorize_pattern(gram, idx, state))
+                continue
+            state.extra["cholesky_flops"] += len(entries) * cholesky_flops(size)
+            for (key, idx), L in zip(entries, factors):
+                cache[key] = (idx, L)
+
+        for key, cols in zip(group_keys, groups):
+            x[:, cols] = 0.0
+            idx, L = cache[key]
+            if idx.size == 0:
+                continue
+            _apply_pattern_solve(gram, rhs, idx, L, cols, x, state)
+
+
+@register_kernel
+class NumbaKernel(NLSKernel):
+    """JIT-compiled per-column BPP engine (requires numba).
+
+    The compiled core (`repro.nls.kernels_numba`) runs the whole pivot loop
+    — gathering, Cholesky, substitution, exchange rules — in machine code
+    with zero per-column Python overhead.  Results agree with the NumPy
+    kernels to solver tolerance (not bit-for-bit: the compiled Cholesky is
+    its own arithmetic).  When numba is missing the kernel reports itself
+    unavailable; ``resolve_kernel("auto")`` then falls back to ``batched``.
+    """
+
+    name = "numba"
+
+    @classmethod
+    def is_available(cls) -> bool:
+        from repro.nls.kernels_numba import NUMBA_AVAILABLE
+
+        return NUMBA_AVAILABLE
+
+    def solve(self, gram, rhs, x0, *, max_backup, max_iters, tol):
+        from repro.nls.kernels_numba import bpp_columns
+
+        k, c = rhs.shape
+        state = self._fresh_state()
+        x = np.zeros((k, c))
+        if x0 is not None and np.any(x0 > 0):
+            passive = np.ascontiguousarray(x0 > 0)
+        else:
+            passive = np.zeros((k, c), dtype=bool)
+        iters, full_ex, backup_ex, converged, chol_flops, solve_flops = bpp_columns(
+            np.ascontiguousarray(gram, dtype=np.float64),
+            np.ascontiguousarray(rhs, dtype=np.float64),
+            x,
+            passive,
+            int(max_backup),
+            int(max_iters),
+            float(tol),
+        )
+        state.iterations = int(iters)
+        state.full_exchanges = int(full_ex)
+        state.backup_exchanges = int(backup_ex)
+        state.converged = bool(converged)
+        state.extra["cholesky_flops"] = float(chol_flops)
+        state.extra["triangular_solve_flops"] = float(solve_flops)
+        return x, state

@@ -1,0 +1,179 @@
+"""Numba-compiled BPP core used by the ``numba`` kernel.
+
+The whole per-column pivot loop — passive-set gathering, Cholesky
+factorization, forward/back substitution, and the Kim & Park exchange rules —
+is one nopython-compiled function with zero per-column Python overhead.  The
+linear algebra is written as explicit loops (no ``np.linalg`` inside the
+jitted region) so the core compiles on every numba version and also runs as
+plain Python when numba is absent; ``NUMBA_AVAILABLE`` tells the registry
+whether the compiled path is actually active.  Singular passive blocks are
+handled with an escalating ridge (the NumPy kernels use ``lstsq`` instead, so
+the agreement contract with them is solver-tolerance, not bits).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+try:  # pragma: no cover - exercised on the numba CI leg
+    from numba import njit
+
+    NUMBA_AVAILABLE = True
+except ImportError:  # pragma: no cover - the default in minimal environments
+    NUMBA_AVAILABLE = False
+
+    def njit(*args, **kwargs):
+        """No-op decorator so the core stays importable and testable."""
+        if args and callable(args[0]):
+            return args[0]
+
+        def decorate(fn):
+            return fn
+
+        return decorate
+
+
+@njit(cache=True)
+def _cholesky_lower(sub, L, s):
+    """Factor the leading ``s × s`` block of ``sub`` into ``L`` (lower).
+
+    Returns False on breakdown (non-SPD block) without touching ``sub``.
+    """
+    for j in range(s):
+        acc = sub[j, j]
+        for t in range(j):
+            acc -= L[j, t] * L[j, t]
+        if acc <= 0.0:
+            return False
+        ljj = math.sqrt(acc)
+        L[j, j] = ljj
+        for i in range(j + 1, s):
+            acc2 = sub[i, j]
+            for t in range(j):
+                acc2 -= L[i, t] * L[j, t]
+            L[i, j] = acc2 / ljj
+    return True
+
+
+@njit(cache=True)
+def bpp_columns(gram, rhs, x, passive, max_backup, max_iters, tol):
+    """Solve BPP for every column of ``rhs``; ``x``/``passive`` in place.
+
+    Returns ``(max_pivot_iters, full_exchanges, backup_exchanges, converged,
+    cholesky_flops, triangular_solve_flops)``.
+    """
+    k, c = rhs.shape
+    sub = np.empty((k, k))
+    L = np.empty((k, k))
+    b = np.empty(k)
+    y = np.empty(k)
+    idx = np.empty(k, np.int64)
+    infeasible = np.zeros(k, np.bool_)
+    max_col_iters = 0
+    full_ex = 0
+    backup_ex = 0
+    converged = True
+    chol_flops = 0.0
+    solve_flops = 0.0
+    for col in range(c):
+        alpha = max_backup
+        beta = k + 1
+        it = 0
+        while True:
+            # Gather the passive indices and solve the restricted system.
+            s = 0
+            for i in range(k):
+                x[i, col] = 0.0
+                if passive[i, col]:
+                    idx[s] = i
+                    s += 1
+            if s > 0:
+                for a in range(s):
+                    ia = idx[a]
+                    for bb in range(s):
+                        sub[a, bb] = gram[ia, idx[bb]]
+                    b[a] = rhs[ia, col]
+                ok = _cholesky_lower(sub, L, s)
+                if not ok:
+                    # Singular passive block: escalate a tiny ridge until the
+                    # factorization succeeds (an all-zero block stays at x=0).
+                    trace = 0.0
+                    for a in range(s):
+                        trace += sub[a, a]
+                    ridge = 1e-12 * (trace / s) if trace > 0.0 else 1e-12
+                    for _attempt in range(3):
+                        for a in range(s):
+                            sub[a, a] += ridge
+                        ok = _cholesky_lower(sub, L, s)
+                        if ok:
+                            break
+                        ridge *= 100.0
+                if ok:
+                    chol_flops += s * s * s / 3.0
+                    # Forward substitution  L z = b   (z overwrites b) ...
+                    for a in range(s):
+                        acc = b[a]
+                        for t in range(a):
+                            acc -= L[a, t] * b[t]
+                        b[a] = acc / L[a, a]
+                    # ... back substitution  Lᵀ w = z  (w overwrites b).
+                    for a in range(s - 1, -1, -1):
+                        acc = b[a]
+                        for t in range(a + 1, s):
+                            acc -= L[t, a] * b[t]
+                        b[a] = acc / L[a, a]
+                    solve_flops += 2.0 * s * s
+                    for a in range(s):
+                        x[idx[a], col] = b[a]
+            # Dual variables: y = G x − r restricted to this column.
+            for i in range(k):
+                acc = -rhs[i, col]
+                for a in range(s):
+                    acc += gram[i, idx[a]] * x[idx[a], col]
+                y[i] = acc
+            # Infeasibility census (primal on F, dual on G).
+            n_inf = 0
+            last_inf = -1
+            for i in range(k):
+                bad = False
+                if passive[i, col]:
+                    if x[i, col] < -tol:
+                        bad = True
+                elif y[i] < -tol:
+                    bad = True
+                infeasible[i] = bad
+                if bad:
+                    n_inf += 1
+                    last_inf = i
+            if n_inf == 0:
+                break
+            if it >= max_iters:
+                converged = False
+                break
+            it += 1
+            # Kim & Park exchange rules.
+            if n_inf < beta:
+                beta = n_inf
+                alpha = max_backup
+                full = True
+            elif alpha >= 1:
+                alpha -= 1
+                full = True
+            else:
+                full = False
+            if full:
+                for i in range(k):
+                    if infeasible[i]:
+                        passive[i, col] = not passive[i, col]
+                full_ex += 1
+            else:
+                passive[last_inf, col] = not passive[last_inf, col]
+                backup_ex += 1
+        if it > max_col_iters:
+            max_col_iters = it
+        for i in range(k):
+            if x[i, col] < 0.0:
+                x[i, col] = 0.0
+    return max_col_iters, full_ex, backup_ex, converged, chol_flops, solve_flops

@@ -27,8 +27,8 @@ class ProjectedGradient(NLSSolver):
 
     name = "pgrad"
 
-    def __init__(self, max_iters: int = 200, tol: float = 1e-8):
-        super().__init__()
+    def __init__(self, max_iters: int = 200, tol: float = 1e-8, kernel=None):
+        super().__init__(kernel=kernel)
         self.max_iters = int(max_iters)
         self.tol = float(tol)
 

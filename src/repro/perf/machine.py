@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, replace
+from typing import Mapping, Optional
 
 from repro.comm.cost import EDISON, LAPTOP, AlphaBetaGamma, CollectiveCost
 
@@ -32,6 +33,16 @@ EDISON_NODE = {
     "peak_gflops_per_node": 460.8,
     "injection_bandwidth_gbps": 8.0,
     "mpi_latency_us": 1.3,
+}
+
+#: Assumed NLS throughput of each BPP kernel relative to ``scalar``, used when
+#: a spec carries no measured ratios (``MachineSpec.calibrate`` measures the
+#: real ones).  ``scalar`` is 1.0 by definition, so default pricing is
+#: unchanged for code that never asks about kernels.
+DEFAULT_KERNEL_SPEEDUPS: Mapping[str, float] = {
+    "scalar": 1.0,
+    "batched": 2.5,
+    "numba": 6.0,
 }
 
 
@@ -52,6 +63,10 @@ class MachineSpec:
     bpp_iterations: float = 10.0
     #: Fraction of columns whose passive set is unique (cannot share a Cholesky).
     bpp_grouping_factor: float = 0.5
+    #: Measured NLS throughput of each BPP kernel relative to ``scalar``
+    #: (``None`` = use :data:`DEFAULT_KERNEL_SPEEDUPS`).  Filled in by
+    #: :meth:`calibrate`; read by :meth:`kernel_speedup` / :meth:`for_kernel`.
+    kernel_speedups: Optional[Mapping[str, float]] = None
 
     @property
     def name(self) -> str:
@@ -69,15 +84,49 @@ class MachineSpec:
     def gram_seconds(self, flops: float) -> float:
         return flops * self.network.gamma / self.gram_efficiency
 
-    def nls_seconds(self, flops: float) -> float:
-        return flops * self.network.gamma / self.nls_efficiency
+    def nls_seconds(self, flops: float, kernel: Optional[str] = None) -> float:
+        seconds = flops * self.network.gamma / self.nls_efficiency
+        if kernel is not None:
+            seconds /= self.kernel_speedup(kernel)
+        return seconds
+
+    def kernel_speedup(self, kernel: str) -> float:
+        """NLS throughput of a BPP kernel relative to ``scalar`` (>= 0).
+
+        Unknown kernel names price like ``scalar`` (ratio 1.0) rather than
+        raising — the planner validates names before pricing.
+        """
+        table = self.kernel_speedups or DEFAULT_KERNEL_SPEEDUPS
+        return float(table.get(kernel, 1.0))
+
+    def for_kernel(self, kernel: Optional[str]) -> "MachineSpec":
+        """A spec whose NLS efficiency reflects the given BPP kernel.
+
+        This is how the planner threads the kernel choice through the variant
+        cost hooks without changing their signatures: the returned spec's
+        ``nls_efficiency`` is scaled by the kernel's speedup ratio, so every
+        downstream ``nls_seconds`` call prices the chosen engine.  ``None``
+        or ``scalar`` (ratio 1.0) return ``self`` unchanged, keeping default
+        pricing byte-stable.
+        """
+        if kernel is None:
+            return self
+        ratio = self.kernel_speedup(kernel)
+        if ratio == 1.0:
+            return self
+        return self.with_options(nls_efficiency=self.nls_efficiency * ratio)
 
     def with_options(self, **kwargs) -> "MachineSpec":
         return replace(self, **kwargs)
 
     @classmethod
     def calibrate(
-        cls, size: int = 384, repeats: int = 3, seed: int = 0, ranks: int = 1
+        cls,
+        size: int = 384,
+        repeats: int = 3,
+        seed: int = 0,
+        ranks: int = 1,
+        rate_kernels: bool = True,
     ) -> "MachineSpec":
         """Micro-benchmark *this* host and return a spec priced to it.
 
@@ -101,7 +150,14 @@ class MachineSpec:
         ``alpha`` is fixed at 100 ns, a deposit-slot handoff rather than a
         NIC round-trip.  The relative kernel efficiencies (sparse MM, Gram,
         NLS) keep their defaults — they describe kernel *shapes*, not the
-        host.  The deterministic Edison constants
+        host.
+
+        With ``rate_kernels`` (the default) every *available* BPP kernel is
+        additionally timed on a representative NLS problem and the measured
+        throughput ratios are stored in :attr:`kernel_speedups`, so
+        ``repro plan --machine local --kernel ...`` prices the actual engines
+        on this host (including numba's JIT-compiled one when importable —
+        its one-off compilation happens during warm-up, outside the timing).  The deterministic Edison constants
         (:func:`edison_machine`) remain the default everywhere; calibration
         is opt-in (``repro plan --machine local``, ``fit(...,
         machine=MachineSpec.calibrate())``) so tests and figure regeneration
@@ -147,8 +203,30 @@ class MachineSpec:
         copy_best = min(_timed(lambda: np.copyto(dst, src)) for _ in range(repeats))
         beta = copy_best / src.size
 
+        kernel_speedups = None
+        if rate_kernels:
+            from repro.nls import available_kernels, make_solver
+
+            kk, cc = 10, 128
+            C = rng.standard_normal((2 * kk, kk))
+            B = rng.standard_normal((2 * kk, cc))
+            gram_mat = C.T @ C
+            rhs = C.T @ B
+            times = {}
+            for kern in available_kernels():
+                solver = make_solver("bpp", kernel=kern)
+                solver.solve(gram_mat, rhs)  # warm-up (JIT compile for numba)
+                times[kern] = min(
+                    _timed(lambda: solver.solve(gram_mat, rhs))
+                    for _ in range(max(repeats, 1))
+                )
+            scalar_time = times["scalar"]
+            kernel_speedups = {k: scalar_time / t for k, t in times.items()}
+
         network = AlphaBetaGamma(alpha=1.0e-7, beta=beta, gamma=gamma, name=name)
-        return cls(network=network, dense_mm_efficiency=1.0)
+        return cls(
+            network=network, dense_mm_efficiency=1.0, kernel_speedups=kernel_speedups
+        )
 
 
 def _gemm_probe(comm, size: int, repeats: int, seed: int) -> float:

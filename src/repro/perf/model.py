@@ -48,6 +48,7 @@ from typing import Optional, Tuple
 from repro.comm.grid import choose_grid
 from repro.comm.profiler import TimeBreakdown
 from repro.core.local_ops import dense_matmul_flops, sparse_matmul_flops
+from repro.nls.bpp import bpp_flops_estimate
 from repro.perf.machine import MachineSpec, edison_machine
 from repro.plan.problem import ProblemSpec, as_problem
 
@@ -94,9 +95,13 @@ def bpp_flops(k: int, columns: float, iterations: float, grouping_factor: float 
     and cubic in k per column), which is what produces the paper's observation
     that the Webbase problem is NLS-bound and that its time does not scale
     linearly with k.
+
+    The formula itself lives next to the kernels that realise it
+    (:func:`repro.nls.bpp.bpp_flops_estimate`); this is the model-side alias.
     """
-    per_round = grouping_factor * columns * (k**3) / 3.0 + 2.0 * columns * k**2
-    return iterations * per_round
+    return bpp_flops_estimate(
+        k, columns, iterations=iterations, grouping_factor=grouping_factor
+    )
 
 
 # ---------------------------------------------------------------------------

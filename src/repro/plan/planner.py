@@ -50,6 +50,9 @@ class ExecutionPlan:
         (sequential, naive).
     backend, solver:
         Execution backend and local NLS solver recorded for provenance.
+    kernel:
+        BPP kernel the plan was priced for (``None`` = default pricing, i.e.
+        the ``scalar`` engine); see :mod:`repro.nls.kernels`.
     machine:
         Name of the :class:`~repro.perf.machine.MachineSpec` the prediction
         used (``"edison"`` unless calibrated).
@@ -73,6 +76,7 @@ class ExecutionPlan:
     problem: ProblemSpec
     breakdown: TimeBreakdown
     words_per_iteration: Optional[float] = None
+    kernel: Optional[str] = None
 
     @property
     def seconds_per_iteration(self) -> float:
@@ -81,6 +85,7 @@ class ExecutionPlan:
 
     def summary(self) -> str:
         grid = f"{self.grid[0]}x{self.grid[1]}" if self.grid else "-"
+        kernel = f", kernel={self.kernel}" if self.kernel else ""
         words = (
             f", {self.words_per_iteration:.4g} words/iter"
             if self.words_per_iteration is not None
@@ -89,7 +94,7 @@ class ExecutionPlan:
         return (
             f"variant={self.variant}, p={self.n_ranks}, grid={grid}, "
             f"predicted {self.breakdown.total:.4g} s/iter{words} "
-            f"(machine={self.machine})"
+            f"(machine={self.machine}{kernel})"
         )
 
     def to_dict(self) -> dict:
@@ -104,6 +109,7 @@ class ExecutionPlan:
             "problem": self.problem.to_dict(),
             "breakdown": self.breakdown.as_dict(),
             "words_per_iteration": self.words_per_iteration,
+            "kernel": self.kernel,
         }
 
     @classmethod
@@ -119,6 +125,7 @@ class ExecutionPlan:
             problem=ProblemSpec.from_dict(payload["problem"]),
             breakdown=TimeBreakdown.from_parts(**payload["breakdown"]),
             words_per_iteration=payload.get("words_per_iteration"),
+            kernel=payload.get("kernel"),
         )
 
 
@@ -140,6 +147,7 @@ def plan_candidates(
     grid: Optional[Tuple[int, int]] = None,
     backend: Optional[str] = None,
     solver: str = "bpp",
+    kernel: Optional[str] = None,
 ) -> List[ExecutionPlan]:
     """Score every (variant, grid) candidate for ``problem`` on ``p`` ranks.
 
@@ -162,6 +170,12 @@ def plan_candidates(
         Pin candidates to this one factorization of ``p``.  Grid-free
         variants cannot honour a pinned grid, so they are excluded; a grid
         that does not multiply to ``p`` raises.
+    kernel:
+        BPP kernel to price the NLS term for (``'scalar'``, ``'batched'``,
+        ``'numba'`` or ``'auto'``); resolved against the kernels registry,
+        then threaded through the cost hooks via
+        :meth:`MachineSpec.for_kernel`.  ``None`` keeps default (scalar)
+        pricing.
     """
     from repro.core.variants import get_variant
     from repro.perf.machine import edison_machine
@@ -171,6 +185,11 @@ def plan_candidates(
     if grid is not None and grid[0] * grid[1] != p:
         raise ValueError(f"grid {grid[0]}x{grid[1]} does not match p={p}")
     machine = machine or edison_machine()
+    if kernel is not None:
+        from repro.nls.kernels import resolve_kernel
+
+        kernel = resolve_kernel(kernel)  # normalizes 'auto', rejects typos
+        machine = machine.for_kernel(kernel)
 
     plans: List[ExecutionPlan] = []
     for name in _candidate_variant_names(variants):
@@ -202,6 +221,7 @@ def plan_candidates(
                     words_per_iteration=variant.predicted_words(
                         problem, p, grid=candidate_grid
                     ),
+                    kernel=kernel,
                 )
             )
     if not plans:
@@ -222,6 +242,7 @@ def make_plan(
     grid: Optional[Tuple[int, int]] = None,
     backend: Optional[str] = None,
     solver: str = "bpp",
+    kernel: Optional[str] = None,
 ) -> ExecutionPlan:
     """The cheapest :class:`ExecutionPlan` for ``problem`` on ``p`` ranks.
 
@@ -236,4 +257,5 @@ def make_plan(
         grid=grid,
         backend=backend,
         solver=solver,
+        kernel=kernel,
     )[0]

@@ -54,6 +54,25 @@ class TestRunBaseline:
         assert "dense:process_vs_sequential" in speedups
         assert all(v > 0 for v in speedups.values())
 
+    def test_kernel_panel_attached(self, measured):
+        kernels = measured["kernels"]
+        assert kernels["panel"] == "dense"
+        names = [row["kernel"] for row in kernels["rows"]]
+        assert "scalar" in names and "batched" in names
+        for row in kernels["rows"]:
+            assert row["wall_s"] > 0
+            assert row["columns_per_s"] > 0
+        scalar_row = next(r for r in kernels["rows"] if r["kernel"] == "scalar")
+        assert scalar_row["speedup_vs_scalar"] == 1.0
+        assert "bpp_batched_vs_scalar" in measured["speedups"]
+
+    def test_kernel_panel_can_be_skipped(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            payload = run_baseline(scale="tiny", p=2, panels=(), kernels=False)
+        assert "kernels" not in payload
+        assert not any(m.startswith("bpp_") for m in payload["speedups"])
+
     def test_unknown_scale_rejected(self):
         with pytest.raises(ValueError, match="unknown scale"):
             run_baseline(scale="galactic")
@@ -77,6 +96,12 @@ class TestArtifactIO:
         assert "sequential" in table
         assert "process" in table
         assert "dense:process_vs_thread" in table
+
+    def test_render_mentions_kernel_panel(self, measured):
+        table = render_baseline(measured)
+        assert "BPP kernels" in table
+        assert "batched" in table
+        assert "bpp_batched_vs_scalar" in table
 
 
 class TestCheckBaseline:
@@ -123,4 +148,16 @@ class TestCheckBaseline:
         floor = next(f for f in committed["floors"]
                      if f["metric"] == "dense:process_vs_thread")
         assert floor["min"] >= 1.5
+        assert floor["requires_cpus"] >= 4
+
+    def test_committed_baseline_gates_the_batched_kernel(self):
+        from pathlib import Path
+
+        committed = json.loads(
+            (Path(__file__).resolve().parents[2]
+             / "benchmarks" / "baselines" / "BENCH_baseline.json").read_text()
+        )
+        floor = next(f for f in committed["floors"]
+                     if f["metric"] == "bpp_batched_vs_scalar")
+        assert floor["min"] >= 2.0
         assert floor["requires_cpus"] >= 4

@@ -61,6 +61,44 @@ def test_laptop_machine_factory():
     assert machine.name == "laptop"
 
 
+class TestKernelSpeedups:
+    def test_default_table_prices_scalar_at_unity(self):
+        machine = edison_machine()
+        assert machine.kernel_speedup("scalar") == 1.0
+        assert machine.kernel_speedup("batched") > 1.0
+        assert machine.kernel_speedup("numba") > machine.kernel_speedup("batched")
+        # Unknown names price like scalar: the planner validates names first.
+        assert machine.kernel_speedup("mystery") == 1.0
+
+    def test_for_kernel_scales_nls_efficiency(self):
+        machine = edison_machine()
+        batched = machine.for_kernel("batched")
+        ratio = machine.kernel_speedup("batched")
+        assert batched.nls_efficiency == pytest.approx(
+            machine.nls_efficiency * ratio
+        )
+        # NLS gets cheaper by exactly the speedup; other kernels unchanged.
+        assert batched.nls_seconds(1e9) == pytest.approx(
+            machine.nls_seconds(1e9) / ratio
+        )
+        assert batched.dense_mm_seconds(1e9) == machine.dense_mm_seconds(1e9)
+
+    def test_for_kernel_identity_cases(self):
+        machine = edison_machine()
+        assert machine.for_kernel(None) is machine
+        assert machine.for_kernel("scalar") is machine
+
+    def test_nls_seconds_accepts_kernel_directly(self):
+        machine = edison_machine()
+        assert machine.nls_seconds(1e9, kernel="batched") == pytest.approx(
+            machine.nls_seconds(1e9) / machine.kernel_speedup("batched")
+        )
+
+    def test_measured_ratios_override_defaults(self):
+        machine = edison_machine(kernel_speedups={"scalar": 1.0, "batched": 3.5})
+        assert machine.kernel_speedup("batched") == 3.5
+
+
 class TestCalibrate:
     def test_calibrated_constants_are_physical(self):
         machine = MachineSpec.calibrate(size=96, repeats=1)
@@ -82,6 +120,21 @@ class TestCalibrate:
     def test_calibration_does_not_change_the_default(self):
         MachineSpec.calibrate(size=64, repeats=1)
         assert edison_machine().network is EDISON
+
+    def test_calibration_rates_available_kernels(self):
+        from repro.nls import available_kernels
+
+        machine = MachineSpec.calibrate(size=64, repeats=1)
+        assert machine.kernel_speedups is not None
+        assert set(machine.kernel_speedups) == set(available_kernels())
+        assert machine.kernel_speedups["scalar"] == pytest.approx(1.0)
+        assert all(v > 0 for v in machine.kernel_speedups.values())
+
+    def test_kernel_rating_can_be_skipped(self):
+        machine = MachineSpec.calibrate(size=64, repeats=1, rate_kernels=False)
+        assert machine.kernel_speedups is None
+        # Falls back to the documented default table.
+        assert machine.kernel_speedup("batched") > 1.0
 
     def test_parallel_calibration_measures_contended_gemm_rate(self):
         """ranks > 1 times the GEMM with that many concurrent OS processes,
