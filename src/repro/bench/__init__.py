@@ -12,6 +12,7 @@ from repro.bench.baseline import (
     render_baseline,
     run_baseline,
     run_kernel_panel,
+    run_overlap_panel,
     write_baseline,
 )
 
@@ -22,5 +23,6 @@ __all__ = [
     "render_baseline",
     "run_baseline",
     "run_kernel_panel",
+    "run_overlap_panel",
     "write_baseline",
 ]

@@ -31,6 +31,8 @@ def add_bench_arguments(parser: argparse.ArgumentParser) -> argparse.ArgumentPar
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--no-kernels", action="store_true",
                         help="skip the BPP kernel microbenchmark panel")
+    parser.add_argument("--no-overlap", action="store_true",
+                        help="skip the pipelined-vs-blocking schedule panel")
     parser.add_argument("--out", default="benchmarks/results",
                         help="directory for the BENCH_*.json artifact")
     parser.add_argument("--label", default=None,
@@ -60,6 +62,7 @@ def main(argv=None, args: Optional[argparse.Namespace] = None) -> int:
         repeats=args.repeats,
         seed=args.seed,
         kernels=not args.no_kernels,
+        overlap=not args.no_overlap,
     )
     path = write_baseline(payload, args.out, label=args.label)
     print(render_baseline(payload))

@@ -113,6 +113,47 @@ def _timed(fn) -> float:
     return time.perf_counter() - start
 
 
+def run_overlap_panel(
+    scale: str = "tiny",
+    p: int = 4,
+    backends: Sequence[str] = ("thread", "process"),
+    variant: str = "hpc2d",
+    repeats: int = 2,
+    seed: int = 7,
+) -> dict:
+    """Time the pipelined vs. blocking schedule on the dense panel.
+
+    For each backend the dense panel runs twice — ``overlap=True`` (the
+    default pipelined schedule: nonblocking collectives hiding communication
+    behind compute) and ``overlap=False`` (strictly blocking) — and the ratio
+    ``blocking / pipelined`` is reported per backend.  The committed baseline
+    floors ``dense:process_pipelined_vs_blocking``; both runs produce
+    byte-identical factors, so any ratio change is pure schedule performance.
+    """
+    spec = SCALES[scale]["dense"]
+    k, iters = int(spec["k"]), int(spec["iters"])
+    A = _panel_matrix("dense", spec, seed)
+    rows: List[dict] = []
+    for backend in backends:
+        walls = {}
+        for overlap in (False, True):
+            wall, _ = _timed_fit(
+                A, k, iters, seed, repeats,
+                variant=variant, n_ranks=p, backend=backend, overlap=overlap,
+            )
+            walls[overlap] = wall
+        rows.append({
+            "panel": "dense", "variant": variant, "backend": backend, "p": p,
+            "wall_blocking_s": walls[False],
+            "wall_pipelined_s": walls[True],
+            "pipelined_vs_blocking": walls[False] / walls[True],
+        })
+    return {
+        "panel": "dense", "variant": variant, "p": p,
+        "k": k, "iters": iters, "repeats": repeats, "rows": rows,
+    }
+
+
 def _timed_fit(A, k: int, iters: int, seed: int, repeats: int, **kwargs) -> Tuple[float, object]:
     """Best-of-``repeats`` wall seconds for one full ``fit`` (and its result)."""
     from repro.core.api import fit
@@ -136,6 +177,7 @@ def run_baseline(
     repeats: int = 2,
     seed: int = 7,
     kernels: bool = True,
+    overlap: bool = True,
 ) -> dict:
     """Measure the Figure-3-style panels and return the baseline payload.
 
@@ -146,7 +188,10 @@ def run_baseline(
     under.  With ``kernels`` (the default) the BPP kernel microbenchmark
     (:func:`run_kernel_panel`) is appended under a separate ``"kernels"``
     key, contributing ``bpp_<kernel>_vs_scalar`` speedups — the committed
-    baseline also floors ``bpp_batched_vs_scalar``.
+    baseline also floors ``bpp_batched_vs_scalar``.  With ``overlap`` (the
+    default) the pipelined-vs-blocking panel (:func:`run_overlap_panel`) is
+    appended under ``"overlap"``, contributing
+    ``dense:<backend>_pipelined_vs_blocking`` speedups.
     """
     if scale not in SCALES:
         raise ValueError(f"unknown scale {scale!r}; known: {sorted(SCALES)}")
@@ -206,6 +251,16 @@ def run_baseline(
                 payload["speedups"][f"bpp_{row['kernel']}_vs_scalar"] = (
                     row["speedup_vs_scalar"]
                 )
+    if overlap:
+        overlap_panel = run_overlap_panel(
+            scale=scale, p=p, backends=backends, variant=variant,
+            repeats=repeats, seed=seed,
+        )
+        payload["overlap"] = overlap_panel
+        for row in overlap_panel["rows"]:
+            payload["speedups"][
+                f"dense:{row['backend']}_pipelined_vs_blocking"
+            ] = row["pipelined_vs_blocking"]
     return payload
 
 
@@ -280,6 +335,19 @@ def render_baseline(payload: dict) -> str:
                 f"{'':>7}  {row['kernel']:>10}  {'-':>8}  {'-':>6}  "
                 f"{row['wall_s']:>8.3f}  {row['columns_per_s']:>8.0f}  "
                 f"{row['speedup_vs_scalar']:>8.2f}"
+            )
+    overlap_panel = payload.get("overlap")
+    if overlap_panel:
+        lines.append(
+            f"overlap (pipelined vs blocking, dense, {overlap_panel['variant']} "
+            f"p={overlap_panel['p']}):"
+        )
+        for row in overlap_panel["rows"]:
+            lines.append(
+                f"{'':>7}  {row['variant']:>10}  {row['backend']:>8}  {'-':>6}  "
+                f"{row['wall_pipelined_s']:>8.3f}  "
+                f"{row['wall_blocking_s']:>8.3f}  "
+                f"{row['pipelined_vs_blocking']:>8.2f}"
             )
     for metric, value in sorted(payload["speedups"].items()):
         lines.append(f"  {metric} = {value:.3f}")

@@ -89,6 +89,7 @@ def _cmd_factorize(args: argparse.Namespace) -> int:
         solver=args.solver,
         seed=args.seed,
         **({"kernel": args.kernel} if args.kernel else {}),
+        **({"overlap": False} if args.no_overlap else {}),
     )
     print(result.summary())
     if args.save:
@@ -151,7 +152,8 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     machine = _resolve_machine(args.machine, ranks=args.ranks)
     try:
         plans = plan_candidates(
-            problem, args.ranks, machine=machine, kernel=args.kernel
+            problem, args.ranks, machine=machine, kernel=args.kernel,
+            backend=args.backend,
         )
     except SolverError as exc:  # e.g. --kernel numba without numba installed
         raise SystemExit(str(exc)) from None
@@ -247,6 +249,11 @@ def build_parser() -> argparse.ArgumentParser:
                            "fastest available); default scalar")
     fact.add_argument("--iters", type=int, default=20, help="outer iterations")
     fact.add_argument("--seed", type=int, default=42)
+    fact.add_argument("--no-overlap", action="store_true",
+                      help="run the strictly blocking Algorithm 2/3 schedules "
+                           "instead of the default pipelined one (nonblocking "
+                           "collectives overlapping compute); results are "
+                           "byte-identical either way")
     fact.add_argument("--save", help="write the full result to this .npz path")
     fact.set_defaults(func=_cmd_factorize)
 
@@ -284,6 +291,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="price the NLS term for this BPP kernel "
                            "(calibrated machines use measured per-kernel "
                            "throughput ratios)")
+    plan.add_argument("--backend", default=None, choices=available_backends(),
+                      help="also score pipelined-schedule candidates for this "
+                           "execution backend (its overlap efficiency decides "
+                           "how much communication hides behind compute)")
     plan.set_defaults(func=_cmd_plan)
 
     var = sub.add_parser("variants", help="list registered NMF variants")

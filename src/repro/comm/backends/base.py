@@ -93,6 +93,15 @@ class SharedGroupState:
     synchronization mechanism while keeping the deposit-slot protocol.
     """
 
+    #: How nonblocking collectives progress on this substrate.  ``"helper"``
+    #: means a per-communicator daemon thread executes the operation over the
+    #: point-to-point mailboxes of a silent shadow communicator — genuinely
+    #: asynchronous wherever the transport releases the GIL.  The lockstep
+    #: state overrides this to ``"eager"``: handles complete at issue time via
+    #: the native blocking collective, preserving the deterministic
+    #: rank-ordered schedule that makes lockstep the semantics oracle.
+    nonblocking_mode = "helper"
+
     def __init__(self, size: int):
         if size < 1:
             raise CommunicatorError(f"communicator size must be >= 1, got {size}")

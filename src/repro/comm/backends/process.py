@@ -58,6 +58,7 @@ import os
 import pickle
 import queue
 import struct
+import threading
 import time
 import uuid
 import warnings
@@ -153,6 +154,13 @@ class _ProcessRuntime:
         # -- per-process state (reset by bind() in each child) --------------
         self.rank: Optional[int] = None  # None = the parent/monitor process
         self._buffers: Dict[Any, deque] = {}
+        # Token demux is shared by the rank's main thread and the nonblocking
+        # helper threads: the condition guards _buffers, _draining elects a
+        # single queue drainer at a time (the rank has exactly one incoming
+        # queue), and waiters for already-buffered keys wake on notify_all.
+        # Created pre-fork while single-threaded, so fork inheritance is safe.
+        self._buf_cond = threading.Condition()
+        self._draining = False
         self._epochs: Dict[Any, int] = {}
         self._grown: List[shared_memory.SharedMemory] = []
         self._aborted = False
@@ -248,48 +256,80 @@ class _ProcessRuntime:
     # -- token transport (barriers + point-to-point) ------------------------
     def send_token(self, dst: int, key: Any, payload: Any) -> None:
         if dst == self.rank:
-            self._buffers.setdefault(key, deque()).append(payload)
+            with self._buf_cond:
+                self._buffers.setdefault(key, deque()).append(payload)
+                self._buf_cond.notify_all()
             return
         self.queues[dst].put((key, payload))
 
+    #: Drain slice for the elected queue reader: short enough that a waiter
+    #: whose token was stolen into the buffer sees it promptly, long enough
+    #: that an idle wait is not a busy loop.
+    _DRAIN_SLICE = 0.05
+
     def recv_token(self, key: Any, timeout: float, empty_on_timeout: bool = False) -> Any:
-        """Wait for a token matching ``key``, buffering out-of-order arrivals."""
-        buffered = self._buffers.get(key)
-        if buffered:
-            return buffered.popleft()
-        if self._aborted:
-            self._raise_abort()
+        """Wait for a token matching ``key``, buffering out-of-order arrivals.
+
+        Thread-safe: the rank's main thread (barriers, blocking p2p) and its
+        nonblocking helper threads may wait concurrently.  One caller at a
+        time is elected to drain the rank's single incoming queue in short
+        slices; everything it pulls is buffered by key under the condition,
+        so the other waiters wake via ``notify_all`` when their key lands.
+        """
         deadline = time.monotonic() + timeout
         own = self.queues[self.rank]
-        while True:
-            remaining = deadline - time.monotonic()
-            if remaining <= 0:
-                if empty_on_timeout:
-                    raise queue.Empty
-                raise CommunicatorError(
-                    f"rank {self.rank} timed out after {timeout:g}s waiting for "
-                    f"token {key!r}; a peer rank likely crashed or is stuck"
-                )
-            try:
-                got_key, payload = own.get(timeout=remaining)
-            except queue.Empty:
-                continue
-            if got_key == _ABORT:
-                self._aborted = True
-                self._abort_reason = payload
-                self._raise_abort()
-            bucket = self._buffers.setdefault(got_key, deque())
-            bucket.append(payload)
-            if got_key == key:
-                return bucket.popleft()
+        with self._buf_cond:
+            while True:
+                bucket = self._buffers.get(key)
+                if bucket:
+                    return bucket.popleft()
+                if self._aborted:
+                    self._raise_abort()
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    if empty_on_timeout:
+                        raise queue.Empty
+                    raise CommunicatorError(
+                        f"rank {self.rank} timed out after {timeout:g}s waiting "
+                        f"for token {key!r}; a peer rank likely crashed or is stuck"
+                    )
+                if self._draining:
+                    # Another thread holds the queue; sleep until it buffers
+                    # something (or our slice elapses and we re-check).
+                    self._buf_cond.wait(timeout=min(remaining, self._DRAIN_SLICE))
+                    continue
+                self._draining = True
+                self._buf_cond.release()
+                got = None
+                try:
+                    try:
+                        got = own.get(timeout=min(remaining, self._DRAIN_SLICE))
+                    except queue.Empty:
+                        pass
+                finally:
+                    self._buf_cond.acquire()
+                    self._draining = False
+                if got is None:
+                    self._buf_cond.notify_all()
+                    continue
+                got_key, payload = got
+                if got_key == _ABORT:
+                    self._aborted = True
+                    self._abort_reason = payload
+                    self._buf_cond.notify_all()
+                    self._raise_abort()
+                self._buffers.setdefault(got_key, deque()).append(payload)
+                self._buf_cond.notify_all()
 
     def _raise_abort(self) -> None:
         raise PeerAbortError(self._abort_reason or "a peer rank failed; run aborted")
 
     def broadcast_abort(self, reason: str) -> None:
         """Wake every rank (blocked or not) with an abort token."""
-        self._aborted = True
-        self._abort_reason = reason
+        with self._buf_cond:
+            self._aborted = True
+            self._abort_reason = reason
+            self._buf_cond.notify_all()
         for r in range(self.n_ranks):
             if r != self.rank:
                 self.queues[r].put((_ABORT, reason))

@@ -17,6 +17,12 @@ only ``send``/``recv`` so that
   on a distributed-memory machine.
 
 All functions are SPMD: every rank of ``comm`` must call them collectively.
+
+The nonblocking collectives (:mod:`repro.comm.nonblocking`) build on
+:func:`recursive_doubling_allgather`: it is bitwise exact (it only moves
+bytes), so a helper thread can run it on a shadow communicator and apply the
+native rank-order combine locally, reproducing the blocking collective's
+result byte-for-byte while the issuing rank keeps computing.
 """
 
 from __future__ import annotations

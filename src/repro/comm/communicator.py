@@ -26,12 +26,22 @@ from __future__ import annotations
 import contextlib
 import enum
 import queue
+import time
 from typing import Any, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.comm.backends.base import SharedGroupState
 from repro.comm.cost import CostLedger
+from repro.comm.nonblocking import (
+    CommHandle,
+    _allgatherv_body,
+    _allreduce_body,
+    _AsyncHandle,
+    _EagerHandle,
+    _HelperRunner,
+    _reduce_scatter_body,
+)
 from repro.comm.workspace import CollectiveWorkspace
 from repro.util.errors import CommunicatorError
 
@@ -124,6 +134,13 @@ class Comm:
         self._split_count = 0
         self._ledger = ledger
         self._workspace: Optional[CollectiveWorkspace] = None
+        # Nonblocking-collective state: shadow-communicator traffic must
+        # never hit the ledger (_silent), handles get a per-communicator
+        # issue tag (_nb_seq), and helper-mode backends lazily get one
+        # daemon runner thread (_nb_runner).
+        self._silent = False
+        self._nb_seq = 0
+        self._nb_runner: Optional[_HelperRunner] = None
 
     # -- identity ----------------------------------------------------------
     @property
@@ -243,6 +260,8 @@ class Comm:
         self._state.wait()
 
     def _record(self, operation: str, n_words: float) -> None:
+        if self._silent:
+            return
         ledger = self.ledger
         if ledger is not None:
             ledger.record(operation, self.size, n_words)
@@ -525,6 +544,207 @@ class Comm:
             result = op.combine(pieces, out=out)
         self._record("reduce_scatter", _nwords(array))
         return result
+
+    # -- nonblocking collectives ---------------------------------------------
+    @property
+    def _nonblocking_eager(self) -> bool:
+        """Whether handles complete at issue time on this substrate.
+
+        True for size-1 communicators (nothing to overlap) and for group
+        states that declare ``nonblocking_mode == "eager"`` (lockstep, whose
+        deterministic baton schedule must not gain helper threads).
+        """
+        if self.size == 1:
+            return True
+        return getattr(self._state, "nonblocking_mode", "helper") == "eager"
+
+    def _next_nb_tag(self) -> int:
+        self._nb_seq += 1
+        return self._nb_seq
+
+    def _pin_out(self, out: Optional[np.ndarray], op: str, tag: int):
+        """Pin ``out`` in this rank's workspace for a handle's lifetime.
+
+        Returns the unpin callback for the handle (or ``None`` when ``out``
+        is absent or not a workspace buffer).  Pinning happens on every
+        backend — including eager ones, where the data is already in place —
+        so the reuse-hazard error triggers identically everywhere.
+        """
+        if out is None or self._workspace is None:
+            return None
+        name = self._workspace.pin_matching(out, rank=self.rank, op=op, tag=tag)
+        if name is None:
+            return None
+        workspace = self._workspace
+        return lambda: workspace.unpin(name)
+
+    def _make_shadow(self) -> "Comm":
+        """Collectively create the silent transport communicator for a helper.
+
+        The split's own setup collective must not be counted either, so this
+        communicator is temporarily silenced during the split; the shadow is
+        permanently silent and detached from the parent chain (the helper
+        thread holds it, and a parent reference would keep the issuing
+        communicator alive forever).
+        """
+        was_silent = self._silent
+        self._silent = True
+        try:
+            shadow = self.split(color=0, key=self.rank)
+        finally:
+            self._silent = was_silent
+        shadow._silent = True
+        shadow._parent = None
+        return shadow
+
+    def ensure_nonblocking(self) -> bool:
+        """Collectively prepare this communicator for nonblocking collectives.
+
+        On helper-mode backends this creates the silent shadow communicator
+        (a collective operation — every rank must call this at the same
+        point) and starts the daemon runner thread; call it during setup,
+        before attaching a ledger, so first use inside a timed loop pays no
+        hidden split.  Eager substrates and size-1 communicators need no
+        preparation.  Returns True when a helper runner is active.
+        """
+        if self._nonblocking_eager:
+            return False
+        if self._nb_runner is None:
+            self._nb_runner = _HelperRunner(self, self._make_shadow())
+        return True
+
+    def shutdown_nonblocking(self) -> None:
+        """Drain and stop this communicator's helper thread (if any).
+
+        Pending handles still complete (the runner finishes its queue before
+        exiting) and remain waitable.  Idempotent; a later nonblocking call
+        would lazily recreate the helper.
+        """
+        runner = self._nb_runner
+        self._nb_runner = None
+        if runner is not None:
+            runner.shutdown()
+
+    def _issue(
+        self,
+        op: str,
+        blocking_call,
+        body_factory,
+        ledger_op: str,
+        out: Optional[np.ndarray],
+    ) -> CommHandle:
+        """Shared issue path: eager completion or helper submission."""
+        tag = self._next_nb_tag()
+        unpin = self._pin_out(out, op, tag)
+        if self._nonblocking_eager:
+            start = time.perf_counter()
+            try:
+                result = blocking_call()
+            except BaseException:
+                if unpin is not None:
+                    unpin()
+                raise
+            return _EagerHandle(op, tag, result, time.perf_counter() - start, unpin=unpin)
+        self.ensure_nonblocking()
+        handle = _AsyncHandle(
+            op,
+            tag,
+            unpin=unpin,
+            record=lambda words: self._record(ledger_op, words),
+        )
+        self._nb_runner.submit(handle, body_factory())
+        return handle
+
+    def iallgatherv(
+        self, array: np.ndarray, axis: int = 0, out: Optional[np.ndarray] = None
+    ) -> CommHandle:
+        """Nonblocking :meth:`allgatherv`; returns a :class:`CommHandle`.
+
+        The result (``handle.wait()``) is byte-identical to the blocking
+        call's.  The input is snapshotted at issue, so the caller may
+        overwrite ``array`` immediately; ``out`` must stay untouched until
+        ``wait()`` (workspace buffers enforce this via pinning).
+        """
+        array = np.asarray(array)
+        self._validate_out(out, array)
+        if out is not None:
+            norm_axis = axis % array.ndim if array.ndim else 0
+            if out.ndim != array.ndim or any(
+                out.shape[d] != array.shape[d]
+                for d in range(array.ndim)
+                if d != norm_axis
+            ):
+                raise CommunicatorError(
+                    f"out buffer shape {out.shape} is incompatible with "
+                    f"gathered blocks of shape {array.shape} along axis {axis}"
+                )
+        return self._issue(
+            "iallgatherv",
+            lambda: self.allgatherv(array, axis=axis, out=out),
+            lambda: _allgatherv_body(array.copy(), axis, out),
+            "all_gather",
+            out,
+        )
+
+    def iallreduce(
+        self,
+        array: np.ndarray,
+        op: ReduceOp = ReduceOp.SUM,
+        out: Optional[np.ndarray] = None,
+    ) -> CommHandle:
+        """Nonblocking :meth:`allreduce`; returns a :class:`CommHandle`.
+
+        Byte-identical to the blocking call: the helper gathers the full
+        contributions point-to-point and combines them in rank order, the
+        same order the native collective uses.
+        """
+        array = np.asarray(array)
+        self._validate_out(out, array, expected_shape=array.shape)
+        return self._issue(
+            "iallreduce",
+            lambda: self.allreduce(array, op=op, out=out),
+            lambda: _allreduce_body(array.copy(), op, out),
+            "all_reduce",
+            out,
+        )
+
+    def ireduce_scatter(
+        self,
+        array: np.ndarray,
+        counts: Optional[Sequence[int]] = None,
+        axis: int = 0,
+        op: ReduceOp = ReduceOp.SUM,
+        out: Optional[np.ndarray] = None,
+    ) -> CommHandle:
+        """Nonblocking :meth:`reduce_scatter`; returns a :class:`CommHandle`."""
+        array = np.asarray(array)
+        length = array.shape[axis]
+        if counts is None:
+            base, rem = divmod(length, self.size)
+            counts = [base + (1 if r < rem else 0) for r in range(self.size)]
+        counts = list(counts)
+        if len(counts) != self.size:
+            raise CommunicatorError(
+                f"counts must have length {self.size}, got {len(counts)}"
+            )
+        if sum(counts) != length:
+            raise CommunicatorError(
+                f"counts sum to {sum(counts)} but axis {axis} has length {length}"
+            )
+        offsets = np.concatenate(([0], np.cumsum(counts)))
+        expected_shape = list(array.shape)
+        expected_shape[axis] = counts[self.rank]
+        self._validate_out(out, array, expected_shape=tuple(expected_shape))
+        index: List[Any] = [slice(None)] * array.ndim
+        index[axis] = slice(int(offsets[self.rank]), int(offsets[self.rank + 1]))
+        index = tuple(index)
+        return self._issue(
+            "ireduce_scatter",
+            lambda: self.reduce_scatter(array, counts=counts, axis=axis, op=op, out=out),
+            lambda: _reduce_scatter_body(array.copy(), index, op, out),
+            "reduce_scatter",
+            out,
+        )
 
     # -- communicator management --------------------------------------------
     def split(self, color: int, key: Optional[int] = None) -> "Comm":

@@ -27,7 +27,16 @@ from repro.util.timing import WallClock
 
 
 class TaskCategory(str, enum.Enum):
-    """The six per-iteration task categories of Figure 3."""
+    """The six per-iteration task categories of Figure 3, plus bookkeeping.
+
+    The three collective categories (``ALL_GATHER``/``REDUCE_SCATTER``/
+    ``ALL_REDUCE``) always mean *exposed* communication: time the rank spent
+    blocked on the critical path, whether inside a blocking collective or in
+    ``CommHandle.wait()``.  ``HIDDEN_COMM`` is the portion of a nonblocking
+    collective's duration that ran concurrently with compute already counted
+    under MM/NLS/Gram — it is informational and therefore excluded from
+    :attr:`TimeBreakdown.total` (counting it would double-book wall time).
+    """
 
     MM = "MM"
     NLS = "NLS"
@@ -35,6 +44,7 @@ class TaskCategory(str, enum.Enum):
     ALL_GATHER = "AllGather"
     REDUCE_SCATTER = "ReduceScatter"
     ALL_REDUCE = "AllReduce"
+    HIDDEN_COMM = "HiddenComm"
     OTHER = "Other"
 
     @classmethod
@@ -51,7 +61,20 @@ class TimeBreakdown:
 
     @property
     def total(self) -> float:
-        return float(sum(self.seconds.values()))
+        """Critical-path seconds: every category except ``HIDDEN_COMM``.
+
+        Hidden communication overlaps compute that is already counted, so
+        including it would double-book wall time.  Breakdowns recorded
+        before nonblocking collectives existed carry no ``HiddenComm`` key
+        and are unaffected.
+        """
+        return float(
+            sum(
+                v
+                for k, v in self.seconds.items()
+                if k != TaskCategory.HIDDEN_COMM.value
+            )
+        )
 
     @property
     def computation(self) -> float:
@@ -70,6 +93,16 @@ class TimeBreakdown:
                 TaskCategory.ALL_REDUCE,
             )
         )
+
+    @property
+    def exposed_communication(self) -> float:
+        """Alias of :attr:`communication`: comm time on the critical path."""
+        return self.communication
+
+    @property
+    def hidden_communication(self) -> float:
+        """Nonblocking-collective time overlapped with counted compute."""
+        return float(self.seconds.get(TaskCategory.HIDDEN_COMM.value, 0.0))
 
     def get(self, category: TaskCategory | str) -> float:
         key = category.value if isinstance(category, TaskCategory) else str(category)

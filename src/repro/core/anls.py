@@ -10,6 +10,11 @@ and ``rhs = (A Hᵀ)ᵀ`` and returns ``Wᵀ``; likewise the H-subproblem uses
 ``gram = Wᵀ W`` and ``rhs = Wᵀ A``.  This is exactly the data layout the
 distributed algorithms assemble with their collectives, so the same solver
 object is reused verbatim there.
+
+``config.overlap`` is a no-op here: the sequential loop has no collectives
+to pipeline, so the blocking and "pipelined" schedules are the same program
+(the parallel loops in :mod:`repro.core.naive` / :mod:`repro.core.hpc_nmf`
+are where the flag takes effect).
 """
 
 from __future__ import annotations

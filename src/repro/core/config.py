@@ -82,6 +82,15 @@ class NMFConfig:
         rules + stacked Cholesky, byte-identical to scalar), ``"numba"``
         (JIT-compiled, requires numba) or ``"auto"`` (fastest available).
         See :mod:`repro.nls.kernels`.  Ignored by the element-wise solvers.
+    overlap:
+        Whether the parallel loops run the pipelined schedule (default):
+        factor all-gathers and the line-4 Gram all-reduce are issued as
+        nonblocking collectives (:meth:`Comm.iallgatherv` /
+        :meth:`Comm.iallreduce`) and overlap the opposite half-iteration's
+        local compute.  ``False`` restores the strictly blocking Algorithm
+        2/3 schedules (the CLI's ``--no-overlap``).  Both schedules produce
+        byte-identical factors and identical cost ledgers; the sequential
+        algorithm has no collectives and ignores the flag.
     """
 
     k: int
@@ -96,6 +105,7 @@ class NMFConfig:
     inner_iters: int = 1
     backend: str = "thread"
     kernel: str = "scalar"
+    overlap: bool = True
 
     def __post_init__(self):
         if self.k < 1:
@@ -115,6 +125,11 @@ class NMFConfig:
         if not isinstance(self.kernel, str) or not self.kernel:
             raise ShapeError(
                 f"kernel must be a kernels registry name, got {self.kernel!r}"
+            )
+        if not isinstance(self.overlap, bool):
+            raise ShapeError(
+                f"overlap must be a bool (pipelined vs blocking schedule), "
+                f"got {self.overlap!r}"
             )
         # Normalise the algorithm field so strings are accepted.
         object.__setattr__(self, "algorithm", Algorithm(self.algorithm))

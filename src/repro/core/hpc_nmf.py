@@ -39,6 +39,7 @@ import numpy as np
 from repro.comm.communicator import Comm
 from repro.comm.cost import CostLedger
 from repro.comm.grid import ProcessGrid, choose_grid
+from repro.comm.nonblocking import finish
 from repro.comm.profiler import Profiler, TaskCategory
 from repro.core.config import Algorithm, NMFConfig
 from repro.core.initialization import init_h_slice
@@ -177,66 +178,120 @@ def hpc_nmf(
     # schedule stays aligned.
     cached_gram_h = None
 
-    for iteration in range(config.max_iters):
-        iter_start = time.perf_counter()
+    # Pipelined schedule (config.overlap, see repro.comm.nonblocking): the
+    # line-5 H_j gather is issued at the *end of the previous iteration* so it
+    # overlaps the error path and lines 3-4; the line-4 all-reduce is issued
+    # nonblocking and claimed only just before the line-8 NLS needs it; the
+    # line-11 W_i gather is issued right after line 8 so it overlaps the
+    # lines 9-10 Gram + all-reduce.  Both schedules run the same collectives
+    # the same number of times in the same program order on every rank, so
+    # factors and cost ledgers stay byte-identical.
+    pipeline = bool(config.overlap) and p > 1
+    # Issuing iteration i+1's gather *before* iteration i's stopping decision
+    # is only safe when the loop provably runs to max_iters (fixed iteration
+    # count and nobody who can request an early stop).  Otherwise the gather
+    # is issued after control.record declines to stop — a smaller overlap
+    # window (the error path stays exposed) but the same collective count.
+    speculative = pipeline and config.tol == 0 and not observers
+    if pipeline:
+        # Start the helper threads / shadow communicators now (collective),
+        # so no setup cost or silent-split traffic lands inside the loop.
+        for c in (comm, grid.row_comm, grid.col_comm):
+            c.ensure_nonblocking()
 
-        # ---------------- Compute W given H (lines 3-8) --------------------
-        if cached_gram_h is not None:
-            gram_h = cached_gram_h
-        else:
-            with profiler.task(TaskCategory.GRAM):
-                U_ij = gram(H_fac.local, transpose_first=False)      # line 3
-            with profiler.task(TaskCategory.ALL_REDUCE):
-                gram_h = comm.allreduce(U_ij, out=gram_h_buf)        # line 4
-        with profiler.task(TaskCategory.ALL_GATHER):
-            H_j = H_fac.col_block(out=H_j_buf)                       # line 5
-        with profiler.task(TaskCategory.MM):
-            V_ij = matmul_a_ht(data.block, H_j.T)                    # line 6
-        with profiler.task(TaskCategory.REDUCE_SCATTER):
-            aht_block = grid.row_comm.reduce_scatter(                # line 7
-                V_ij, counts=w_scatter_counts, axis=0, out=aht_buf
-            )
-        with profiler.task(TaskCategory.NLS):
-            Wt_local = solver.solve(                                 # line 8
-                gram_h,
-                aht_block.T,
-                x0=W_fac.local.T if np.any(W_fac.local) else None,
-            )
-        W_fac.local = np.ascontiguousarray(Wt_local.T)
+    # Iteration 0's line-5 gather, issued before the loop (H is seeded).
+    h_gather = H_fac.icol_block(out=H_j_buf) if pipeline else None
 
-        # ---------------- Compute H given W (lines 9-14) -------------------
-        with profiler.task(TaskCategory.GRAM):
-            X_ij = gram(W_fac.local, transpose_first=True)           # line 9
-        with profiler.task(TaskCategory.ALL_REDUCE):
-            gram_w = comm.allreduce(X_ij, out=gram_w_buf)            # line 10
-        with profiler.task(TaskCategory.ALL_GATHER):
-            W_i = W_fac.row_block(out=W_i_buf)                       # line 11
-        with profiler.task(TaskCategory.MM):
-            Y_ij = matmul_wt_a(W_i, data.block)                      # line 12
-        with profiler.task(TaskCategory.REDUCE_SCATTER):
-            wta_block = grid.col_comm.reduce_scatter(                # line 13
-                Y_ij, counts=h_scatter_counts, axis=1, out=wta_buf
-            )
-        with profiler.task(TaskCategory.NLS):
-            H_fac.local = solver.solve(gram_w, wta_block, x0=H_fac.local)  # line 14
+    try:
+        for iteration in range(config.max_iters):
+            iter_start = time.perf_counter()
 
-        objective = rel_error = float("nan")
-        if config.compute_error:
-            cross = comm.allreduce_scalar(local_cross_term(wta_block, H_fac.local))
-            with profiler.task(TaskCategory.ALL_REDUCE):
-                gram_h_new = comm.allreduce(
-                    gram(H_fac.local, transpose_first=False), out=gram_h_new_buf
+            # ---------------- Compute W given H (lines 3-8) ----------------
+            gram_h_handle = None
+            if cached_gram_h is not None:
+                gram_h = cached_gram_h
+            else:
+                with profiler.task(TaskCategory.GRAM):
+                    U_ij = gram(H_fac.local, transpose_first=False)  # line 3
+                if pipeline:
+                    gram_h_handle = comm.iallreduce(U_ij, out=gram_h_buf)  # line 4
+                else:
+                    with profiler.task(TaskCategory.ALL_REDUCE):
+                        gram_h = comm.allreduce(U_ij, out=gram_h_buf)  # line 4
+            if h_gather is not None:
+                H_j = finish(h_gather, profiler, TaskCategory.ALL_GATHER)  # line 5
+                h_gather = None
+            else:
+                with profiler.task(TaskCategory.ALL_GATHER):
+                    H_j = H_fac.col_block(out=H_j_buf)               # line 5
+            with profiler.task(TaskCategory.MM):
+                V_ij = matmul_a_ht(data.block, H_j.T)                # line 6
+            with profiler.task(TaskCategory.REDUCE_SCATTER):
+                aht_block = grid.row_comm.reduce_scatter(            # line 7
+                    V_ij, counts=w_scatter_counts, axis=0, out=aht_buf
                 )
-            cached_gram_h = gram_h_new
-            objective = objective_from_grams(norm_a_sq, cross, gram_w, gram_h_new)
-            rel_error = float(np.sqrt(objective / norm_a_sq)) if norm_a_sq > 0 else 0.0
-        if control.record(
-            iteration,
-            objective=objective,
-            relative_error=rel_error,
-            seconds=time.perf_counter() - iter_start,
-        ):
-            break
+            if gram_h_handle is not None:
+                gram_h = finish(gram_h_handle, profiler, TaskCategory.ALL_REDUCE)
+            with profiler.task(TaskCategory.NLS):
+                Wt_local = solver.solve(                             # line 8
+                    gram_h,
+                    aht_block.T,
+                    x0=W_fac.local.T if np.any(W_fac.local) else None,
+                )
+            W_fac.local = np.ascontiguousarray(Wt_local.T)
+
+            # ---------------- Compute H given W (lines 9-14) ---------------
+            # Pipelined: the line-11 gather starts now and overlaps 9-10.
+            w_gather = W_fac.irow_block(out=W_i_buf) if pipeline else None
+            with profiler.task(TaskCategory.GRAM):
+                X_ij = gram(W_fac.local, transpose_first=True)       # line 9
+            with profiler.task(TaskCategory.ALL_REDUCE):
+                gram_w = comm.allreduce(X_ij, out=gram_w_buf)        # line 10
+            if w_gather is not None:
+                W_i = finish(w_gather, profiler, TaskCategory.ALL_GATHER)  # line 11
+            else:
+                with profiler.task(TaskCategory.ALL_GATHER):
+                    W_i = W_fac.row_block(out=W_i_buf)               # line 11
+            with profiler.task(TaskCategory.MM):
+                Y_ij = matmul_wt_a(W_i, data.block)                  # line 12
+            with profiler.task(TaskCategory.REDUCE_SCATTER):
+                wta_block = grid.col_comm.reduce_scatter(            # line 13
+                    Y_ij, counts=h_scatter_counts, axis=1, out=wta_buf
+                )
+            with profiler.task(TaskCategory.NLS):
+                H_fac.local = solver.solve(gram_w, wta_block, x0=H_fac.local)  # line 14
+
+            if speculative and iteration + 1 < config.max_iters:
+                # Next iteration's line-5 gather overlaps the error path too.
+                h_gather = H_fac.icol_block(out=H_j_buf)
+
+            objective = rel_error = float("nan")
+            if config.compute_error:
+                cross = comm.allreduce_scalar(local_cross_term(wta_block, H_fac.local))
+                with profiler.task(TaskCategory.ALL_REDUCE):
+                    gram_h_new = comm.allreduce(
+                        gram(H_fac.local, transpose_first=False), out=gram_h_new_buf
+                    )
+                cached_gram_h = gram_h_new
+                objective = objective_from_grams(norm_a_sq, cross, gram_w, gram_h_new)
+                rel_error = float(np.sqrt(objective / norm_a_sq)) if norm_a_sq > 0 else 0.0
+            if control.record(
+                iteration,
+                objective=objective,
+                relative_error=rel_error,
+                seconds=time.perf_counter() - iter_start,
+            ):
+                break
+            if pipeline and h_gather is None and iteration + 1 < config.max_iters:
+                h_gather = H_fac.icol_block(out=H_j_buf)
+    finally:
+        # Drain an unconsumed speculative gather (only possible on an
+        # exception mid-iteration) so its workspace buffer unpins, then stop
+        # the helper threads.  All no-ops on the blocking schedule.
+        if h_gather is not None:
+            h_gather.wait()
+        for c in (grid.col_comm, grid.row_comm, comm):
+            c.shutdown_nonblocking()
 
     return {
         "rank": comm.rank,

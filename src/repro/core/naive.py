@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.comm.communicator import Comm
 from repro.comm.cost import CostLedger
+from repro.comm.nonblocking import finish
 from repro.comm.profiler import Profiler, TaskCategory
 from repro.core.config import Algorithm, NMFConfig
 from repro.core.initialization import init_h_slice
@@ -110,54 +111,83 @@ def naive_parallel_nmf(
     # tracked; every rank takes the branch in the same iterations.
     cached_gram_h = None
 
-    for iteration in range(config.max_iters):
-        iter_start = time.perf_counter()
+    # Pipelined schedule (config.overlap): the line-3 H all-gather of
+    # iteration i+1 is issued right after iteration i's line-6 NLS, hiding it
+    # behind the error path.  The W gather stays blocking — its result is
+    # consumed immediately by the line-5 Gram, so there is nothing to overlap
+    # it with.  Same collectives, same program order, same count on every
+    # rank → byte-identical factors and ledgers (see repro.comm.nonblocking).
+    pipeline = bool(config.overlap) and p > 1
+    # Speculative issue before the stopping decision is only safe when the
+    # loop provably runs all max_iters iterations (see hpc_nmf).
+    speculative = pipeline and config.tol == 0 and not observers
+    if pipeline:
+        comm.ensure_nonblocking()
+    h_gather = comm.iallgatherv(H_local, axis=1, out=H_full_buf) if pipeline else None
 
-        # --- Compute W given H (lines 3-4) --------------------------------
-        with profiler.task(TaskCategory.ALL_GATHER):
-            H = comm.allgatherv(H_local, axis=1, out=H_full_buf)   # full k × n
-        if cached_gram_h is not None:
-            gram_h = cached_gram_h
-        else:
-            with profiler.task(TaskCategory.GRAM):
-                gram_h = gram(H, transpose_first=False)    # redundant on every rank
-        with profiler.task(TaskCategory.MM):
-            a_ht = matmul_a_ht(data.row_block, H.T)        # (m/p) × k
-        with profiler.task(TaskCategory.NLS):
-            Wt_local = solver.solve(
-                gram_h, a_ht.T, x0=W_local.T if np.any(W_local) else None
-            )
-        W_local = Wt_local.T
+    try:
+        for iteration in range(config.max_iters):
+            iter_start = time.perf_counter()
 
-        # --- Compute H given W (lines 5-6) --------------------------------
-        with profiler.task(TaskCategory.ALL_GATHER):
-            W = comm.allgatherv(W_local, axis=0, out=W_full_buf)   # full m × k
-        with profiler.task(TaskCategory.GRAM):
-            gram_w = gram(W, transpose_first=True)         # redundant on every rank
-        with profiler.task(TaskCategory.MM):
-            wt_a = matmul_wt_a(W, data.col_block)          # k × (n/p)
-        with profiler.task(TaskCategory.NLS):
-            H_local = solver.solve(gram_w, wt_a, x0=H_local)
-
-        objective = rel_error = float("nan")
-        if config.compute_error:
-            # Gram trick with distributed pieces: cross term and H-Gram are
-            # summed over ranks with small all-reduces.
-            cross = comm.allreduce_scalar(local_cross_term(wt_a, H_local))
-            with profiler.task(TaskCategory.ALL_REDUCE):
-                gram_h_new = comm.allreduce(
-                    gram(H_local, transpose_first=False), out=gram_h_new_buf
+            # --- Compute W given H (lines 3-4) ----------------------------
+            if h_gather is not None:
+                H = finish(h_gather, profiler, TaskCategory.ALL_GATHER)  # full k × n
+                h_gather = None
+            else:
+                with profiler.task(TaskCategory.ALL_GATHER):
+                    H = comm.allgatherv(H_local, axis=1, out=H_full_buf)  # full k × n
+            if cached_gram_h is not None:
+                gram_h = cached_gram_h
+            else:
+                with profiler.task(TaskCategory.GRAM):
+                    gram_h = gram(H, transpose_first=False)  # redundant on every rank
+            with profiler.task(TaskCategory.MM):
+                a_ht = matmul_a_ht(data.row_block, H.T)      # (m/p) × k
+            with profiler.task(TaskCategory.NLS):
+                Wt_local = solver.solve(
+                    gram_h, a_ht.T, x0=W_local.T if np.any(W_local) else None
                 )
-            cached_gram_h = gram_h_new
-            objective = objective_from_grams(norm_a_sq, cross, gram_w, gram_h_new)
-            rel_error = float(np.sqrt(objective / norm_a_sq)) if norm_a_sq > 0 else 0.0
-        if control.record(
-            iteration,
-            objective=objective,
-            relative_error=rel_error,
-            seconds=time.perf_counter() - iter_start,
-        ):
-            break
+            W_local = Wt_local.T
+
+            # --- Compute H given W (lines 5-6) ----------------------------
+            with profiler.task(TaskCategory.ALL_GATHER):
+                W = comm.allgatherv(W_local, axis=0, out=W_full_buf)  # full m × k
+            with profiler.task(TaskCategory.GRAM):
+                gram_w = gram(W, transpose_first=True)       # redundant on every rank
+            with profiler.task(TaskCategory.MM):
+                wt_a = matmul_wt_a(W, data.col_block)        # k × (n/p)
+            with profiler.task(TaskCategory.NLS):
+                H_local = solver.solve(gram_w, wt_a, x0=H_local)
+
+            if speculative and iteration + 1 < config.max_iters:
+                # Next iteration's line-3 gather overlaps the error path.
+                h_gather = comm.iallgatherv(H_local, axis=1, out=H_full_buf)
+
+            objective = rel_error = float("nan")
+            if config.compute_error:
+                # Gram trick with distributed pieces: cross term and H-Gram are
+                # summed over ranks with small all-reduces.
+                cross = comm.allreduce_scalar(local_cross_term(wt_a, H_local))
+                with profiler.task(TaskCategory.ALL_REDUCE):
+                    gram_h_new = comm.allreduce(
+                        gram(H_local, transpose_first=False), out=gram_h_new_buf
+                    )
+                cached_gram_h = gram_h_new
+                objective = objective_from_grams(norm_a_sq, cross, gram_w, gram_h_new)
+                rel_error = float(np.sqrt(objective / norm_a_sq)) if norm_a_sq > 0 else 0.0
+            if control.record(
+                iteration,
+                objective=objective,
+                relative_error=rel_error,
+                seconds=time.perf_counter() - iter_start,
+            ):
+                break
+            if pipeline and h_gather is None and iteration + 1 < config.max_iters:
+                h_gather = comm.iallgatherv(H_local, axis=1, out=H_full_buf)
+    finally:
+        if h_gather is not None:
+            h_gather.wait()
+        comm.shutdown_nonblocking()
 
     return {
         "rank": rank,

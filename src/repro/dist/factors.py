@@ -86,6 +86,15 @@ class DistributedFactorW:
         """
         return self.grid.row_comm.allgatherv(self.local, axis=0, out=out)
 
+    def irow_block(self, out: np.ndarray = None):
+        """Nonblocking :meth:`row_block`; returns a ``CommHandle``.
+
+        The pipelined Algorithm 3 schedule issues this right after line 8's
+        NLS so the gather overlaps the lines 9-10 Gram + all-reduce;
+        ``handle.wait()`` yields the byte-identical gathered block.
+        """
+        return self.grid.row_comm.iallgatherv(self.local, axis=0, out=out)
+
     def __repr__(self) -> str:
         return (
             f"DistributedFactorW(rank={self.grid.rank}, rows={self.global_range}, "
@@ -133,6 +142,15 @@ class DistributedFactorH:
         receives the gathered block without allocating.
         """
         return self.grid.col_comm.allgatherv(self.local, axis=1, out=out)
+
+    def icol_block(self, out: np.ndarray = None):
+        """Nonblocking :meth:`col_block`; returns a ``CommHandle``.
+
+        The pipelined Algorithm 3 schedule issues the *next* iteration's
+        ``H_j`` gather right after line 14's NLS so it overlaps the error
+        path and the next iteration's lines 3-4.
+        """
+        return self.grid.col_comm.iallgatherv(self.local, axis=1, out=out)
 
     def __repr__(self) -> str:
         return (

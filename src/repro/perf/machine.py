@@ -45,6 +45,18 @@ DEFAULT_KERNEL_SPEEDUPS: Mapping[str, float] = {
     "numba": 6.0,
 }
 
+#: Fraction of *overlappable* communication each backend actually hides when
+#: the pipelined schedule runs (see :mod:`repro.comm.nonblocking`).  The
+#: process backend's helper threads make real progress while the main process
+#: computes (pipes + shared memory release the GIL); the thread backend only
+#: overlaps where BLAS releases the GIL; lockstep completes nonblocking ops
+#: eagerly at issue, so nothing is ever hidden.
+DEFAULT_OVERLAP_EFFICIENCY: Mapping[str, float] = {
+    "process": 0.7,
+    "thread": 0.3,
+    "lockstep": 0.0,
+}
+
 
 @dataclass(frozen=True)
 class MachineSpec:
@@ -67,6 +79,11 @@ class MachineSpec:
     #: (``None`` = use :data:`DEFAULT_KERNEL_SPEEDUPS`).  Filled in by
     #: :meth:`calibrate`; read by :meth:`kernel_speedup` / :meth:`for_kernel`.
     kernel_speedups: Optional[Mapping[str, float]] = None
+    #: Per-backend fraction of overlappable communication hidden by the
+    #: pipelined schedule (``None`` = :data:`DEFAULT_OVERLAP_EFFICIENCY`).
+    #: Read by :meth:`overlap_fraction`; the planner uses it to split a
+    #: predicted breakdown into exposed vs. hidden communication.
+    overlap_efficiency: Optional[Mapping[str, float]] = None
 
     @property
     def name(self) -> str:
@@ -98,6 +115,17 @@ class MachineSpec:
         """
         table = self.kernel_speedups or DEFAULT_KERNEL_SPEEDUPS
         return float(table.get(kernel, 1.0))
+
+    def overlap_fraction(self, backend: Optional[str]) -> float:
+        """Fraction of overlappable comm the backend hides, in ``[0, 1]``.
+
+        Unknown backend names (and ``None``) price as 0.0 — no overlap —
+        so the blocking prediction is the conservative default.
+        """
+        if backend is None:
+            return 0.0
+        table = self.overlap_efficiency or DEFAULT_OVERLAP_EFFICIENCY
+        return float(min(1.0, max(0.0, table.get(backend, 0.0))))
 
     def for_kernel(self, kernel: Optional[str]) -> "MachineSpec":
         """A spec whose NLS efficiency reflects the given BPP kernel.

@@ -65,6 +65,12 @@ class ExecutionPlan:
         Predicted per-iteration communication volume in 8-byte words (the
         quantity Table 2 bounds), or ``None`` when the variant does not
         model it.
+    schedule:
+        ``"blocking"`` (classic Algorithm 2/3 schedule) or ``"pipelined"``
+        (nonblocking collectives overlapping compute; see
+        :func:`repro.perf.model.pipelined_breakdown`).  Pipelined plans
+        carry the overlapped time in their breakdown's ``HiddenComm``
+        category, which :attr:`seconds_per_iteration` excludes.
     """
 
     variant: str
@@ -77,6 +83,7 @@ class ExecutionPlan:
     breakdown: TimeBreakdown
     words_per_iteration: Optional[float] = None
     kernel: Optional[str] = None
+    schedule: str = "blocking"
 
     @property
     def seconds_per_iteration(self) -> float:
@@ -91,10 +98,16 @@ class ExecutionPlan:
             if self.words_per_iteration is not None
             else ""
         )
+        pipelined = ""
+        if self.schedule == "pipelined":
+            pipelined = (
+                f", pipelined: {self.breakdown.exposed_communication:.4g} s "
+                f"exposed + {self.breakdown.hidden_communication:.4g} s hidden comm"
+            )
         return (
             f"variant={self.variant}, p={self.n_ranks}, grid={grid}, "
             f"predicted {self.breakdown.total:.4g} s/iter{words} "
-            f"(machine={self.machine}{kernel})"
+            f"(machine={self.machine}{kernel}){pipelined}"
         )
 
     def to_dict(self) -> dict:
@@ -110,6 +123,7 @@ class ExecutionPlan:
             "breakdown": self.breakdown.as_dict(),
             "words_per_iteration": self.words_per_iteration,
             "kernel": self.kernel,
+            "schedule": self.schedule,
         }
 
     @classmethod
@@ -126,6 +140,7 @@ class ExecutionPlan:
             breakdown=TimeBreakdown.from_parts(**payload["breakdown"]),
             words_per_iteration=payload.get("words_per_iteration"),
             kernel=payload.get("kernel"),
+            schedule=payload.get("schedule", "blocking"),
         )
 
 
@@ -179,6 +194,7 @@ def plan_candidates(
     """
     from repro.core.variants import get_variant
     from repro.perf.machine import edison_machine
+    from repro.perf.model import OVERLAPPABLE_FRACTIONS, pipelined_breakdown
 
     if p < 1:
         raise ValueError(f"number of ranks must be >= 1, got {p}")
@@ -208,6 +224,7 @@ def plan_candidates(
             )
             if breakdown is None:
                 continue  # variant does not model itself; not plannable
+            words = variant.predicted_words(problem, p, grid=candidate_grid)
             plans.append(
                 ExecutionPlan(
                     variant=variant.name,
@@ -218,12 +235,39 @@ def plan_candidates(
                     machine=machine.name,
                     problem=problem,
                     breakdown=breakdown,
-                    words_per_iteration=variant.predicted_words(
-                        problem, p, grid=candidate_grid
-                    ),
+                    words_per_iteration=words,
                     kernel=kernel,
                 )
             )
+            # Pipelined-schedule candidate: only when the caller named a
+            # backend (overlap efficiency is a backend property) and that
+            # backend can actually hide communication for this variant.
+            # Word volume is identical — the schedule moves the same bytes.
+            if (
+                backend is not None
+                and p > 1
+                and variant.name in OVERLAPPABLE_FRACTIONS
+                and machine.overlap_fraction(backend) > 0.0
+            ):
+                overlapped = pipelined_breakdown(
+                    breakdown, variant.name, backend, machine
+                )
+                if overlapped.total < breakdown.total:
+                    plans.append(
+                        ExecutionPlan(
+                            variant=variant.name,
+                            n_ranks=p,
+                            grid=tuple(candidate_grid) if candidate_grid else None,
+                            backend=backend,
+                            solver=solver,
+                            machine=machine.name,
+                            problem=problem,
+                            breakdown=overlapped,
+                            words_per_iteration=words,
+                            kernel=kernel,
+                            schedule="pipelined",
+                        )
+                    )
     if not plans:
         pinned = f" with grid pinned to {grid[0]}x{grid[1]}" if grid is not None else ""
         raise ValueError(
