@@ -15,6 +15,7 @@ from repro.bench.baseline import (
     run_overlap_panel,
     write_baseline,
 )
+from repro.bench.serve_panel import run_serve_panel
 
 __all__ = [
     "SCALES",
@@ -24,5 +25,6 @@ __all__ = [
     "run_baseline",
     "run_kernel_panel",
     "run_overlap_panel",
+    "run_serve_panel",
     "write_baseline",
 ]

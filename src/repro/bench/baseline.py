@@ -178,6 +178,7 @@ def run_baseline(
     seed: int = 7,
     kernels: bool = True,
     overlap: bool = True,
+    serve: bool = True,
 ) -> dict:
     """Measure the Figure-3-style panels and return the baseline payload.
 
@@ -191,7 +192,11 @@ def run_baseline(
     baseline also floors ``bpp_batched_vs_scalar``.  With ``overlap`` (the
     default) the pipelined-vs-blocking panel (:func:`run_overlap_panel`) is
     appended under ``"overlap"``, contributing
-    ``dense:<backend>_pipelined_vs_blocking`` speedups.
+    ``dense:<backend>_pipelined_vs_blocking`` speedups.  With ``serve`` (the
+    default) the serving load-test panel
+    (:func:`~repro.bench.serve_panel.run_serve_panel`) is appended under
+    ``"serve"``, contributing ``serve:<kernel>_vs_scalar`` hot-path speedups —
+    the committed baseline floors ``serve:batched_vs_scalar``.
     """
     if scale not in SCALES:
         raise ValueError(f"unknown scale {scale!r}; known: {sorted(SCALES)}")
@@ -261,6 +266,18 @@ def run_baseline(
             payload["speedups"][
                 f"dense:{row['backend']}_pipelined_vs_blocking"
             ] = row["pipelined_vs_blocking"]
+    if serve:
+        from repro.bench.serve_panel import run_serve_panel
+
+        serve_panel = run_serve_panel(
+            scale=scale, repeats=max(2, repeats), seed=seed
+        )
+        payload["serve"] = serve_panel
+        for row in serve_panel["rows"]:
+            if row["kernel"] != "scalar":
+                payload["speedups"][f"serve:{row['kernel']}_vs_scalar"] = (
+                    row["speedup_vs_scalar"]
+                )
     return payload
 
 
@@ -348,6 +365,27 @@ def render_baseline(payload: dict) -> str:
                 f"{row['wall_pipelined_s']:>8.3f}  "
                 f"{row['wall_blocking_s']:>8.3f}  "
                 f"{row['pipelined_vs_blocking']:>8.2f}"
+            )
+    serve_panel = payload.get("serve")
+    if serve_panel:
+        lines.append(
+            f"serve (micro-batched projection, m={serve_panel['m']} "
+            f"k={serve_panel['k']}, {serve_panel['clients']} clients x "
+            f"{serve_panel['columns_per_request']} cols/request, "
+            f"batch={serve_panel['batch_columns']}):"
+        )
+        lines.append(
+            f"{'':>7}  {'kernel':>10}  {'hot cols/s':>10}  {'req/s':>8}  "
+            f"{'p50 ms':>8}  {'p99 ms':>8}  {'speedup':>8}"
+        )
+        for row in serve_panel["rows"]:
+            lines.append(
+                f"{'':>7}  {row['kernel']:>10}  "
+                f"{row['hotpath_columns_per_s']:>10.0f}  "
+                f"{row['requests_per_s']:>8.0f}  "
+                f"{row['latency_p50_s'] * 1e3:>8.2f}  "
+                f"{row['latency_p99_s'] * 1e3:>8.2f}  "
+                f"{row['speedup_vs_scalar']:>8.2f}"
             )
     for metric, value in sorted(payload["speedups"].items()):
         lines.append(f"  {metric} = {value:.3f}")

@@ -1,6 +1,6 @@
 """Command-line interface: ``python -m repro <command>``.
 
-Five subcommands cover the common workflows:
+The subcommands cover the common workflows:
 
 * ``factorize`` — run any registered NMF variant on a registered dataset or
   an ``.npy``/``.npz`` file and print the result summary;
@@ -10,6 +10,9 @@ Five subcommands cover the common workflows:
 * ``variants`` — list the registered variants and their capability flags;
 * ``experiment`` — regenerate one of the paper's figures/tables (modeled at
   paper scale, optionally measured at laptop scale);
+* ``bench`` — measure the benchmark-baseline panels and write BENCH_*.json;
+* ``serve`` — deploy saved models behind the micro-batched projection
+  server (``repro serve model.npz``; see :mod:`repro.serve`);
 * ``datasets`` — list the registered datasets and their dimensions.
 
 The ``--variant``, ``--solver`` and ``--backend`` choices are derived from
@@ -205,6 +208,74 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return bench_main(args=args)
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from repro.serve import ModelStore, ProjectionServer, ProjectionService
+    from repro.serve.server import run_self_test
+    from repro.util.errors import ModelLoadError
+
+    store = ModelStore(root=args.models_dir)
+    try:
+        if args.models_dir and not args.models:
+            store.load_all()
+        for spec in args.models:
+            if "=" in spec:
+                name, _, path = spec.partition("=")
+                store.load(path, name=name)
+            else:
+                store.load(spec)
+    except ModelLoadError as exc:
+        raise SystemExit(str(exc)) from None
+    if len(store) == 0:
+        raise SystemExit(
+            "nothing to serve: pass one or more .npz model artifacts "
+            "(optionally as NAME=path) or --models-dir"
+        )
+    service = ProjectionService(
+        store,
+        batch_window=args.window,
+        max_batch_columns=args.max_batch,
+        queue_limit=args.queue_limit,
+        default_deadline=args.deadline,
+        kernel=args.kernel,
+    )
+    server = ProjectionServer(
+        service, host=args.host, port=args.port,
+        refresh_every=args.refresh_every,
+    )
+
+    async def _run() -> int:
+        await server.start()
+        print(
+            f"serving {store.names()} on http://{server.host}:{server.port} "
+            f"(kernel={args.kernel}, window={args.window * 1e3:g} ms, "
+            f"max batch={args.max_batch} columns)"
+        )
+        try:
+            if args.self_test is not None:
+                summary = await run_self_test(server, n_requests=args.self_test)
+                print(
+                    f"self-test passed: {summary['requests']} concurrent "
+                    f"requests against model {summary['model']!r}"
+                )
+                print(json.dumps(summary["stats"], indent=2))
+                return 0
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.stop()
+        return 0
+
+    try:
+        return asyncio.run(_run())
+    except KeyboardInterrupt:
+        print("\nshutting down")
+        return 0
+
+
 def _cmd_datasets(_args: argparse.Namespace) -> int:
     print(f"{'name':>16}  {'kind':>7}  {'m':>10}  {'n':>10}  {'nnz (est.)':>12}  description")
     for name in sorted(DATASETS):
@@ -318,6 +389,49 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_bench_arguments(bench)
     bench.set_defaults(func=_cmd_bench)
+
+    serve = sub.add_parser(
+        "serve",
+        help="serve saved NMF models over HTTP: micro-batched projection of "
+             "fresh columns onto the trained basis",
+    )
+    serve.add_argument(
+        "models", nargs="*",
+        help=".npz model artifacts to deploy (written by factorize --save); "
+             "each may be a bare path (model name = file stem) or NAME=path",
+    )
+    serve.add_argument("--models-dir", default=None,
+                       help="directory to resolve bare model names against; "
+                            "with no positional models, every *.npz in it is "
+                            "deployed")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8571,
+                       help="TCP port (0 = pick a free ephemeral port)")
+    serve.add_argument("--kernel", default="auto",
+                       choices=registered_kernels() + ["auto"],
+                       help="BPP kernel for the batched projection solves "
+                            "(default auto = fastest available; responses are "
+                            "byte-identical across kernels)")
+    serve.add_argument("--window", type=float, default=0.002,
+                       help="micro-batch coalescing window in seconds "
+                            "(default 0.002)")
+    serve.add_argument("--max-batch", type=int, default=256,
+                       help="max columns per coalesced NLS call (default 256)")
+    serve.add_argument("--queue-limit", type=int, default=256,
+                       help="max queued requests before 503 load shedding")
+    serve.add_argument("--deadline", type=float, default=2.0,
+                       help="default per-request deadline in seconds "
+                            "(overridable per request via JSON 'timeout')")
+    serve.add_argument("--refresh-every", type=int, default=16,
+                       help="ingest endpoint: publish a refreshed model "
+                            "version every N ingested columns")
+    serve.add_argument("--self-test", nargs="?", type=int, const=8,
+                       default=None, metavar="N",
+                       help="start the server, fire N concurrent projections "
+                            "at it through a stdlib HTTP client (default 8), "
+                            "verify 200s + finite residuals, then exit — the "
+                            "CI smoke mode")
+    serve.set_defaults(func=_cmd_serve)
 
     data = sub.add_parser("datasets", help="list registered datasets")
     data.set_defaults(func=_cmd_datasets)

@@ -13,6 +13,7 @@ from __future__ import annotations
 import dataclasses
 import json
 from dataclasses import dataclass, field
+from datetime import datetime, timezone
 from pathlib import Path
 from typing import TYPE_CHECKING, Dict, List, Optional, Union
 
@@ -20,6 +21,7 @@ import numpy as np
 
 from repro.comm.profiler import TimeBreakdown
 from repro.core.config import NMFConfig
+from repro.util.errors import ModelLoadError
 
 if TYPE_CHECKING:  # import would be circular at runtime (plan → variants → result)
     from repro.plan.planner import ExecutionPlan
@@ -157,6 +159,25 @@ class NMFResult:
             lines.append(f"  plan: {self.plan.summary()}")
         return "\n".join(lines)
 
+    def model_metadata(self) -> dict:
+        """The scalar facts a model store needs to list/validate this model.
+
+        Everything here is JSON-able and cheap to compute; the serving layer
+        (:mod:`repro.serve.store`) exposes this dict per registered model so
+        operators can see what is deployed without touching the factors.
+        """
+        return {
+            "k": int(self.config.k),
+            "m": int(self.W.shape[0]),
+            "n": int(self.H.shape[1]),
+            "variant": self.variant,
+            "solver": self.solver,
+            "backend": self.backend,
+            "iterations": int(self.iterations),
+            "converged": bool(self.converged),
+            "relative_error": float(self.relative_error),
+        }
+
     # -- serialisation -------------------------------------------------------
     def to_dict(self) -> dict:
         """Plain-Python representation (factors stay ndarrays; rest is JSON-able).
@@ -198,7 +219,9 @@ class NMFResult:
         so :meth:`load` reconstructs the full result without pickling.
         """
         payload = self.to_dict()
-        meta = json.dumps({k: v for k, v in payload.items() if k not in ("W", "H")})
+        meta_dict = {k: v for k, v in payload.items() if k not in ("W", "H")}
+        meta_dict["saved_at"] = datetime.now(timezone.utc).isoformat(timespec="seconds")
+        meta = json.dumps(meta_dict)
         path = Path(path)
         np.savez_compressed(path, W=self.W, H=self.H, meta=np.asarray(meta))
         # np.savez appends .npz when missing; report the real on-disk path.
@@ -214,11 +237,54 @@ class NMFResult:
         :class:`~repro.core.symmetric.SymNMFResult` subclass — and so do any
         third-party variants that register their own result class.  Results
         of unregistered variants load as plain :class:`NMFResult`.
+
+        A missing file, a corrupt archive, or an archive that lacks one of
+        the required entries (``W``, ``H``, ``meta``) raises
+        :class:`~repro.util.errors.ModelLoadError` naming the path and the
+        missing key — never a raw NumPy/zipfile/OS error — so the serving
+        model store can surface a diagnosable message.
         """
-        with np.load(Path(path), allow_pickle=False) as data:
+        path = Path(path)
+        if not path.exists():
+            raise ModelLoadError(
+                f"model file {path} does not exist", path=path
+            )
+        try:
+            archive = np.load(path, allow_pickle=False)
+        except Exception as exc:
+            raise ModelLoadError(
+                f"model file {path} is not a readable .npz archive: {exc}",
+                path=path,
+            ) from exc
+        with archive as data:
+            for key in ("W", "H", "meta"):
+                if key not in data.files:
+                    raise ModelLoadError(
+                        f"model file {path} is missing required entry {key!r} "
+                        f"(found: {sorted(data.files)}); was it saved by "
+                        "NMFResult.save?",
+                        path=path,
+                        missing_key=key,
+                    )
             W = np.array(data["W"])
             H = np.array(data["H"])
-            meta = json.loads(str(data["meta"]))
+            try:
+                meta = json.loads(str(data["meta"]))
+            except json.JSONDecodeError as exc:
+                raise ModelLoadError(
+                    f"model file {path} has a corrupt 'meta' entry "
+                    f"(not valid JSON): {exc}",
+                    path=path,
+                    missing_key="meta",
+                ) from exc
+        for key in ("config", "iterations", "history", "breakdown", "n_ranks", "converged"):
+            if key not in meta:
+                raise ModelLoadError(
+                    f"model file {path} metadata is missing required key {key!r}; "
+                    "was it saved by an incompatible version?",
+                    path=path,
+                    missing_key=key,
+                )
         config_dict = dict(meta["config"])
         grid = config_dict.get("grid")
         config_dict["grid"] = tuple(grid) if grid else None

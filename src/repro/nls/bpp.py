@@ -76,9 +76,23 @@ class BlockPrincipalPivoting(NLSSolver):
         Inner-engine selection: ``'scalar'`` (default), ``'batched'``,
         ``'numba'``, or ``'auto'`` (fastest available).  See
         :mod:`repro.nls.kernels`.
+    persistent_cache:
+        Keep the passive-pattern → Cholesky-factor cache alive *across*
+        ``solve`` calls.  Only valid when every call passes the same ``gram``
+        (bit-for-bit) — the serving layer's situation, where ``gram = WᵀW``
+        is fixed per model version and micro-batches arrive continuously.
+        Reuse is bit-safe there (recomputing would reproduce the same bits);
+        call :meth:`reset_cache` (or build a new solver) when the Gram
+        changes.  Default off: the NMF outer loop changes the Gram every
+        half-iteration, so cross-call reuse would be wrong.
     """
 
     name = "bpp"
+
+    #: entries kept in the persistent pattern cache before it is cleared —
+    #: a safety valve, not a tuning knob (k is small, patterns ≤ 2^k, and a
+    #: serving workload revisits a handful of patterns).
+    CACHE_LIMIT = 4096
 
     def __init__(
         self,
@@ -86,12 +100,24 @@ class BlockPrincipalPivoting(NLSSolver):
         max_iters: int = 1000,
         tol: float = 1e-12,
         kernel: Optional[str] = None,
+        persistent_cache: bool = False,
     ):
         super().__init__(kernel=kernel)
         self.max_backup = int(max_backup)
         self.max_iters = int(max_iters)
         self.tol = float(tol)
         self.kernel = make_kernel(kernel)
+        self._cache: Optional[dict] = {} if persistent_cache else None
+
+    def reset_cache(self) -> None:
+        """Drop cached factorizations (call when the Gram matrix changes)."""
+        if self._cache is not None:
+            self._cache.clear()
+
+    @property
+    def cached_patterns(self) -> int:
+        """Number of passive-set patterns currently held in the persistent cache."""
+        return len(self._cache) if self._cache is not None else 0
 
     def solve(
         self,
@@ -108,6 +134,8 @@ class BlockPrincipalPivoting(NLSSolver):
         if np.any(diag <= 0):
             gram = gram + np.eye(k) * max(np.max(diag), 1.0) * 1e-14
 
+        if self._cache is not None and len(self._cache) > self.CACHE_LIMIT:
+            self._cache.clear()
         x, state = self.kernel.solve(
             gram,
             rhs,
@@ -115,6 +143,7 @@ class BlockPrincipalPivoting(NLSSolver):
             max_backup=self.max_backup,
             max_iters=self.max_iters,
             tol=self.tol,
+            cache=self._cache,
         )
         self.last_state = state
         if not state.converged:

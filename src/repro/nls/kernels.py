@@ -138,12 +138,25 @@ class NLSKernel(abc.ABC):
         max_backup: int,
         max_iters: int,
         tol: float,
+        cache: Optional[Dict[bytes, Tuple[np.ndarray, Optional[np.ndarray]]]] = None,
     ) -> Tuple[np.ndarray, NLSState]:
         """Run BPP on pre-validated inputs; return ``(x, state)``.
 
         ``x`` may contain tiny negatives (the solver shell clamps); ``state``
         carries pivot diagnostics plus measured flop tallies in
         ``state.extra['cholesky_flops']`` / ``['triangular_solve_flops']``.
+
+        ``cache`` is the passive-pattern → ``(idx, L)`` factorization cache.
+        ``None`` (the default) gives each call a fresh one, the historical
+        behaviour.  A caller that solves against the SAME ``gram`` repeatedly
+        — the serving layer, where ``gram = WᵀW`` is fixed per model version —
+        may pass a persistent dict so Cholesky factors survive across calls.
+        Reuse is bit-safe precisely because the Gram matrix is unchanged:
+        recomputing a cached factor would produce the same bits.  Passing a
+        cache populated under a *different* Gram matrix is undefined
+        behaviour; invalidate (pass a fresh dict) whenever ``gram`` changes.
+        The compiled ``numba`` kernel keeps no Python-side cache and ignores
+        the argument.
         """
 
     # -- shared driver pieces ------------------------------------------------
@@ -221,10 +234,11 @@ class ScalarKernel(NLSKernel):
 
     name = "scalar"
 
-    def solve(self, gram, rhs, x0, *, max_backup, max_iters, tol):
+    def solve(self, gram, rhs, x0, *, max_backup, max_iters, tol, cache=None):
         k, c = rhs.shape
         state = self._fresh_state()
-        cache: Dict[bytes, Tuple[np.ndarray, Optional[np.ndarray]]] = {}
+        if cache is None:
+            cache = {}
 
         x = np.zeros((k, c))
         y = -rhs.copy()
@@ -313,10 +327,11 @@ class BatchedKernel(NLSKernel):
 
     name = "batched"
 
-    def solve(self, gram, rhs, x0, *, max_backup, max_iters, tol):
+    def solve(self, gram, rhs, x0, *, max_backup, max_iters, tol, cache=None):
         k, c = rhs.shape
         state = self._fresh_state()
-        cache: Dict[bytes, Tuple[np.ndarray, Optional[np.ndarray]]] = {}
+        if cache is None:
+            cache = {}
 
         x = np.zeros((k, c))
         y = -rhs.copy()
@@ -447,7 +462,9 @@ class NumbaKernel(NLSKernel):
 
         return NUMBA_AVAILABLE
 
-    def solve(self, gram, rhs, x0, *, max_backup, max_iters, tol):
+    def solve(self, gram, rhs, x0, *, max_backup, max_iters, tol, cache=None):
+        # ``cache`` is accepted for interface uniformity but unused: the
+        # compiled core keeps its factorizations in native arrays per call.
         from repro.nls.kernels_numba import bpp_columns
 
         k, c = rhs.shape

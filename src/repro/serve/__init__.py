@@ -1,0 +1,71 @@
+"""NMF-as-a-service: model store, micro-batched projection server, refresh.
+
+The serving layer answers the question the training subsystems leave open:
+once HPC-NMF has factored ``A ≈ WH``, how do *fresh* columns get coefficients
+at interactive latency?  Topic inference for new documents, cluster
+assignment for new graph vertices, background subtraction for live video
+frames — all are the projection ``h = argmin_{h≥0} ‖x − Wh‖``, one small NLS
+problem per column, served through the same kernels registry the training
+loops use.
+
+Public surface:
+
+* :class:`ModelStore` / :class:`ModelEntry` — named, versioned, validated
+  model artifacts with cached Gram + Cholesky and hot reload
+  (:mod:`repro.serve.store`);
+* :func:`project` / :func:`validate_columns` / :class:`ModelRefresher` — the
+  projection engine and the incremental-refresh hook
+  (:mod:`repro.serve.project`);
+* :class:`ProjectionService` / :class:`ProjectionServer` — the micro-batcher
+  and the stdlib asyncio HTTP front end (:mod:`repro.serve.server`);
+* :class:`ServeStats` — queue/batch/latency telemetry
+  (:mod:`repro.serve.stats`);
+* the error hierarchy with its HTTP status mapping
+  (:mod:`repro.serve.errors`).
+"""
+
+from repro.serve.errors import (
+    DeadlineExceededError,
+    ModelLoadError,
+    ModelNotFoundError,
+    ProjectionRequestError,
+    ServeError,
+    ServerOverloadedError,
+)
+from repro.serve.project import (
+    ModelRefresher,
+    project,
+    project_blocks,
+    projection_residuals,
+    validate_columns,
+)
+from repro.serve.server import (
+    ProjectionResponse,
+    ProjectionServer,
+    ProjectionService,
+    run_self_test,
+)
+from repro.serve.stats import LatencyWindow, ServeStats, percentile
+from repro.serve.store import ModelEntry, ModelStore
+
+__all__ = [
+    "DeadlineExceededError",
+    "LatencyWindow",
+    "ModelEntry",
+    "ModelLoadError",
+    "ModelNotFoundError",
+    "ModelRefresher",
+    "ModelStore",
+    "percentile",
+    "project",
+    "project_blocks",
+    "projection_residuals",
+    "ProjectionRequestError",
+    "ProjectionResponse",
+    "ProjectionServer",
+    "ProjectionService",
+    "ServeError",
+    "ServerOverloadedError",
+    "ServeStats",
+    "validate_columns",
+]

@@ -1,0 +1,72 @@
+"""Exception hierarchy of the serving layer.
+
+Every serve-raised error derives from :class:`ServeError` (and therefore from
+:class:`~repro.util.errors.ReproError`), and each maps to exactly one HTTP
+status in the front end (:mod:`repro.serve.server`):
+
+=============================  ======  =======================================
+exception                      status  meaning
+=============================  ======  =======================================
+:class:`ProjectionRequestError`   400  the request itself is malformed (wrong
+                                       column length, non-numeric dtype,
+                                       NaN/Inf entries, bad JSON)
+:class:`ModelNotFoundError`       404  no model registered under that name
+:class:`ServerOverloadedError`    503  the bounded request queue is full —
+                                       the server sheds load instead of
+                                       growing an unbounded backlog
+:class:`DeadlineExceededError`    504  the request expired in the queue
+                                       before a batch could serve it
+=============================  ======  =======================================
+
+Validation happens at *admission* (before a request enters the micro-batch
+queue), so one malformed request is rejected alone with a 400 and can never
+poison the batched NLS call that serves its innocent co-batched neighbours.
+
+:class:`~repro.util.errors.ModelLoadError` (a bad artifact on disk) is
+re-exported here for convenience; it surfaces as a 500 if a hot reload is
+attempted against a corrupt file — the previous model version keeps serving.
+"""
+
+from __future__ import annotations
+
+from repro.util.errors import ModelLoadError, ReproError
+
+__all__ = [
+    "ServeError",
+    "ModelLoadError",
+    "ModelNotFoundError",
+    "ProjectionRequestError",
+    "ServerOverloadedError",
+    "DeadlineExceededError",
+]
+
+
+class ServeError(ReproError):
+    """Base class for all errors raised by the serving layer."""
+
+
+class ModelNotFoundError(ServeError, KeyError):
+    """No model is registered in the store under the requested name."""
+
+    def __init__(self, name: str, known: list):
+        self.name = name
+        self.known = sorted(known)
+        # KeyError.__str__ would repr() the message; go through Exception.
+        Exception.__init__(
+            self, f"unknown model {name!r}; registered models: {self.known}"
+        )
+
+    def __str__(self) -> str:
+        return self.args[0]
+
+
+class ProjectionRequestError(ServeError, ValueError):
+    """A projection request failed validation (the HTTP 400 of the service)."""
+
+
+class ServerOverloadedError(ServeError, RuntimeError):
+    """The bounded request queue is full; the request was shed (HTTP 503)."""
+
+
+class DeadlineExceededError(ServeError, TimeoutError):
+    """The request's deadline passed before it could be served (HTTP 504)."""

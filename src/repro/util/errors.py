@@ -67,5 +67,21 @@ class SolverError(ReproError, RuntimeError):
     """A local NLS solver failed to produce a valid solution."""
 
 
+class ModelLoadError(ReproError, RuntimeError):
+    """A saved model artifact could not be loaded or failed validation.
+
+    Raised by :meth:`repro.core.result.NMFResult.load` (and by the serving
+    model store on top of it) instead of the raw NumPy/zipfile/OS error, so a
+    bad artifact is diagnosable from the message alone: it always names the
+    ``path`` involved and, when a required array or metadata key is absent,
+    the ``missing_key``.
+    """
+
+    def __init__(self, message: str, *, path=None, missing_key=None):
+        self.path = str(path) if path is not None else None
+        self.missing_key = missing_key
+        super().__init__(message)
+
+
 class ConvergenceWarning(UserWarning):
     """The iterative algorithm stopped before reaching the requested tolerance."""

@@ -28,7 +28,9 @@ def measured():
     # module: p=2 keeps the fork cost negligible even on 1-CPU hosts.
     with warnings.catch_warnings():
         warnings.simplefilter("ignore", RuntimeWarning)
-        return run_baseline(scale="tiny", p=2, panels=("dense",), repeats=1)
+        # serve=False: the serving panel has its own module (test_serve_panel).
+        return run_baseline(scale="tiny", p=2, panels=("dense",), repeats=1,
+                            serve=False)
 
 
 class TestRunBaseline:
@@ -69,8 +71,10 @@ class TestRunBaseline:
     def test_kernel_panel_can_be_skipped(self):
         with warnings.catch_warnings():
             warnings.simplefilter("ignore", RuntimeWarning)
-            payload = run_baseline(scale="tiny", p=2, panels=(), kernels=False)
+            payload = run_baseline(scale="tiny", p=2, panels=(), kernels=False,
+                                   serve=False)
         assert "kernels" not in payload
+        assert "serve" not in payload
         assert not any(m.startswith("bpp_") for m in payload["speedups"])
 
     def test_unknown_scale_rejected(self):

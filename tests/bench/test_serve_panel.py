@@ -1,0 +1,83 @@
+"""The serving load-test panel: row shape, hot-path speedups, committed floor."""
+
+import json
+import warnings
+from pathlib import Path
+
+import pytest
+
+from repro.bench import render_baseline, run_baseline, run_serve_panel
+
+
+@pytest.fixture(autouse=True)
+def _silence_oversubscription():
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        yield
+
+
+@pytest.fixture(scope="module")
+def panel():
+    # Deliberately small: 2 clients x 2 requests x 8 columns keeps the panel
+    # fast; throughput NUMBERS are not asserted, only structure and positivity.
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        return run_serve_panel(scale="tiny", clients=2, requests_per_client=2,
+                               columns_per_request=8, repeats=1, seed=0)
+
+
+class TestServePanel:
+    def test_panel_shape(self, panel):
+        assert panel["panel"] == "serve"
+        assert panel["clients"] == 2
+        assert panel["batch_columns"] == 16
+        kernels = [row["kernel"] for row in panel["rows"]]
+        assert kernels == ["scalar", "batched"]
+
+    def test_rows_carry_hotpath_and_e2e_metrics(self, panel):
+        for row in panel["rows"]:
+            assert row["hotpath_wall_s"] > 0
+            assert row["hotpath_columns_per_s"] > 0
+            assert row["e2e_wall_s"] > 0
+            assert row["requests_per_s"] > 0
+            assert row["columns_per_s"] > 0
+            assert row["requests"] == 4
+            assert row["columns"] == 32
+            assert row["latency_p50_s"] > 0
+            assert row["latency_p99_s"] >= row["latency_p50_s"]
+
+    def test_speedups_are_hotpath_ratios(self, panel):
+        scalar, batched = panel["rows"]
+        assert scalar["speedup_vs_scalar"] == 1.0
+        expected = (batched["hotpath_columns_per_s"]
+                    / scalar["hotpath_columns_per_s"])
+        assert batched["speedup_vs_scalar"] == pytest.approx(expected)
+        assert batched["e2e_speedup_vs_scalar"] > 0
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError, match="unknown scale"):
+            run_serve_panel(scale="galactic")
+
+
+class TestBaselineIntegration:
+    def test_run_baseline_attaches_serve_panel(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            payload = run_baseline(scale="tiny", p=2, panels=(), kernels=False,
+                                   repeats=1, serve=True)
+        assert payload["serve"]["panel"] == "serve"
+        assert "serve:batched_vs_scalar" in payload["speedups"]
+        table = render_baseline(payload)
+        assert "serve" in table
+        assert "p99" in table
+
+    def test_committed_baseline_gates_the_serve_hot_path(self):
+        committed = json.loads(
+            (Path(__file__).resolve().parents[2]
+             / "benchmarks" / "baselines" / "BENCH_baseline.json").read_text()
+        )
+        floor = next(f for f in committed["floors"]
+                     if f["metric"] == "serve:batched_vs_scalar")
+        assert floor["min"] >= 2.0
+        assert floor["requires_cpus"] >= 4
+        assert "hot path" in floor["rationale"]

@@ -174,3 +174,65 @@ class TestProvenance:
         assert res.variant == "hpc2d"  # config default algorithm
         assert res.solver == "mu"
         assert res.backend is None  # n_ranks == 1
+
+
+class TestModelLoadError:
+    """load() surfaces diagnosable errors: path + missing key, never raw OSError."""
+
+    def _saved(self, tmp_path):
+        return fit(_dense(), 2, max_iters=2, seed=1).save(tmp_path / "m.npz")
+
+    def test_missing_file_names_the_path(self, tmp_path):
+        from repro.util.errors import ModelLoadError
+
+        with pytest.raises(ModelLoadError, match="ghost.npz") as exc_info:
+            NMFResult.load(tmp_path / "ghost.npz")
+        assert str(exc_info.value.path) == str(tmp_path / "ghost.npz")
+
+    def test_corrupt_archive_is_model_load_error(self, tmp_path):
+        from repro.util.errors import ModelLoadError
+
+        path = tmp_path / "bad.npz"
+        path.write_bytes(b"this is not a zip archive")
+        with pytest.raises(ModelLoadError, match="not a readable"):
+            NMFResult.load(path)
+
+    def test_missing_array_entry_names_the_key(self, tmp_path):
+        from repro.util.errors import ModelLoadError
+
+        path = self._saved(tmp_path)
+        with np.load(path, allow_pickle=False) as data:
+            kept = {k: data[k] for k in data.files if k != "H"}
+        np.savez(path, **kept)
+        with pytest.raises(ModelLoadError, match="'H'") as exc_info:
+            NMFResult.load(path)
+        assert exc_info.value.missing_key == "H"
+
+    def test_corrupt_meta_json_names_the_key(self, tmp_path):
+        from repro.util.errors import ModelLoadError
+
+        path = self._saved(tmp_path)
+        with np.load(path, allow_pickle=False) as data:
+            W, H = np.array(data["W"]), np.array(data["H"])
+        np.savez(path, W=W, H=H, meta=np.asarray("{not json"))
+        with pytest.raises(ModelLoadError, match="not valid JSON") as exc_info:
+            NMFResult.load(path)
+        assert exc_info.value.missing_key == "meta"
+
+    def test_missing_meta_field_names_the_key(self, tmp_path):
+        from repro.util.errors import ModelLoadError
+
+        path = self._saved(tmp_path)
+        with np.load(path, allow_pickle=False) as data:
+            W, H = np.array(data["W"]), np.array(data["H"])
+            meta = json.loads(str(data["meta"]))
+        del meta["iterations"]
+        np.savez(path, W=W, H=H, meta=np.asarray(json.dumps(meta)))
+        with pytest.raises(ModelLoadError, match="'iterations'") as exc_info:
+            NMFResult.load(path)
+        assert exc_info.value.missing_key == "iterations"
+
+    def test_error_is_reproerror_subclass(self):
+        from repro.util.errors import ModelLoadError, ReproError
+
+        assert issubclass(ModelLoadError, ReproError)

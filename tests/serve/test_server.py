@@ -1,0 +1,468 @@
+"""End-to-end serving tests: micro-batched byte identity, deadlines, shedding.
+
+No pytest-asyncio in the environment: each test drives its own event loop
+through ``asyncio.run``.  The slow-kernel fake monkeypatches
+``repro.serve.server.project_blocks`` so queue timeouts and load shedding are
+exercised deterministically, without real kernels being slow.
+"""
+
+import asyncio
+import json
+import time
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+import repro.serve.server as server_mod
+from repro.core.api import fit
+from repro.core.config import NMFConfig
+from repro.core.result import NMFResult
+from repro.data.lowrank import planted_lowrank
+from repro.serve import (
+    DeadlineExceededError,
+    ModelNotFoundError,
+    ModelStore,
+    ProjectionRequestError,
+    ProjectionServer,
+    ProjectionService,
+    ServeError,
+    ServerOverloadedError,
+    project,
+)
+from repro.serve.server import run_self_test
+
+M, K = 48, 3
+RNG = np.random.default_rng(11)
+
+
+def _store(name="m", m=M, k=K):
+    store = ModelStore()
+    store.add_result(name, NMFResult(
+        W=np.abs(RNG.standard_normal((m, k))) + 0.01,
+        H=np.abs(RNG.standard_normal((k, 6))),
+        config=NMFConfig(k=k, seed=0),
+        iterations=1,
+    ))
+    return store
+
+
+class TestServiceLifecycle:
+    def test_submit_before_start_errors(self):
+        service = ProjectionService(_store())
+
+        async def run():
+            with pytest.raises(ServeError, match="not started"):
+                await service.submit("m", np.ones(M))
+
+        asyncio.run(run())
+
+    def test_bad_construction_rejected(self):
+        store = _store()
+        with pytest.raises(ValueError):
+            ProjectionService(store, batch_window=-1)
+        with pytest.raises(ValueError):
+            ProjectionService(store, max_batch_columns=0)
+        with pytest.raises(ValueError):
+            ProjectionService(store, queue_limit=0)
+
+
+class TestMicroBatchedByteIdentity:
+    """The acceptance contract: co-batching is invisible, bit for bit."""
+
+    def test_e2e_store_load_concurrent_clients(self, tmp_path):
+        # Full satellite path: checkpointed artifact on disk -> store load ->
+        # concurrent asyncio clients -> ONE coalesced kernel call -> responses
+        # byte-identical to each column projected alone with the scalar kernel.
+        result = fit(planted_lowrank(M, 32, K, seed=0, noise_std=0.02), K,
+                     max_iters=3, seed=1)
+        path = result.save(tmp_path / "model.npz")
+        store = ModelStore()
+        store.load(path, name="m")
+        entry = store.get("m")
+        X = np.abs(RNG.standard_normal((M, 10)))
+
+        async def run():
+            service = ProjectionService(
+                store, batch_window=0.05, max_batch_columns=64,
+                kernel="batched",
+            )
+            await service.start()
+            try:
+                responses = await asyncio.gather(*[
+                    service.submit("m", X[:, i]) for i in range(10)
+                ])
+            finally:
+                await service.stop()
+            return responses
+
+        responses = asyncio.run(run())
+        # genuinely micro-batched: every request rode a multi-column batch
+        assert all(r.batch_columns == 10 for r in responses)
+        for i, response in enumerate(responses):
+            alone = project(entry.W, X[:, [i]], kernel="scalar",
+                            gram=entry.gram)
+            assert response.H.tobytes() == alone.tobytes()
+            assert response.version == 1
+            assert np.isfinite(response.residuals).all()
+
+    def test_multi_column_requests_in_mixed_batch(self):
+        store = _store()
+        entry = store.get("m")
+        blocks = [np.abs(RNG.standard_normal((M, c))) for c in (2, 1, 3)]
+
+        async def run():
+            service = ProjectionService(store, batch_window=0.05,
+                                        kernel="batched")
+            await service.start()
+            try:
+                return await asyncio.gather(*[
+                    service.submit("m", b) for b in blocks
+                ])
+            finally:
+                await service.stop()
+
+        responses = asyncio.run(run())
+        assert all(r.batch_columns == 6 for r in responses)
+        for block, response in zip(blocks, responses):
+            alone = project(entry.W, block, kernel="scalar", gram=entry.gram)
+            assert response.H.tobytes() == alone.tobytes()
+
+    def test_admission_validation_fails_bad_request_alone(self):
+        # One malformed request must 400 by itself; its co-submitted
+        # neighbours still get served from the same window.
+        store = _store()
+        good = np.abs(RNG.standard_normal((M, 4)))
+        bad = np.full(M, np.nan)
+
+        async def run():
+            service = ProjectionService(store, batch_window=0.05)
+            await service.start()
+            try:
+                results = await asyncio.gather(
+                    service.submit("m", good),
+                    service.submit("m", bad),
+                    service.submit("m", np.ones(M + 5)),
+                    return_exceptions=True,
+                )
+            finally:
+                await service.stop()
+            return results
+
+        ok, nan_err, shape_err = asyncio.run(run())
+        assert ok.H.shape == (K, 4)
+        assert isinstance(nan_err, ProjectionRequestError)
+        assert isinstance(shape_err, ProjectionRequestError)
+
+    def test_unknown_model_rejected_at_admission(self):
+        async def run():
+            service = ProjectionService(_store())
+            await service.start()
+            try:
+                with pytest.raises(ModelNotFoundError):
+                    await service.submit("ghost", np.ones(M))
+            finally:
+                await service.stop()
+
+        asyncio.run(run())
+
+
+class TestHotSwap:
+    def test_swap_under_traffic_bumps_version_without_dropping(self):
+        store = _store()
+
+        async def run():
+            service = ProjectionService(store, batch_window=0.001)
+            await service.start()
+            try:
+                first = await service.submit("m", np.ones(M))
+                store.swap("m", NMFResult(
+                    W=np.abs(RNG.standard_normal((M, K))) + 0.01,
+                    H=np.abs(RNG.standard_normal((K, 4))),
+                    config=NMFConfig(k=K, seed=9),
+                    iterations=1,
+                ))
+                second = await service.submit("m", np.ones(M))
+            finally:
+                await service.stop()
+            return first, second
+
+        first, second = asyncio.run(run())
+        assert first.version == 1
+        assert second.version == 2
+        assert first.H.tobytes() != second.H.tobytes()
+
+
+class TestSlowKernel:
+    """Deadline expiry and queue shedding, via a slow project_blocks fake."""
+
+    @pytest.fixture()
+    def slow_kernel(self, monkeypatch):
+        real = server_mod.project_blocks
+
+        def slow(*args, **kwargs):
+            time.sleep(0.15)  # runs on the kernel executor thread
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(server_mod, "project_blocks", slow)
+
+    def test_queued_past_deadline_gets_504(self, slow_kernel):
+        store = _store()
+
+        async def run():
+            # one request per batch: later submissions wait a full slow solve
+            service = ProjectionService(store, batch_window=0.0,
+                                        max_batch_columns=1)
+            await service.start()
+            try:
+                head = asyncio.create_task(service.submit("m", np.ones(M)))
+                await asyncio.sleep(0.02)  # head is now in the slow kernel
+                queued = [
+                    asyncio.create_task(
+                        service.submit("m", np.ones(M), timeout=0.05))
+                    for _ in range(2)
+                ]
+                results = await asyncio.gather(head, *queued,
+                                               return_exceptions=True)
+                stats = service.stats.snapshot()
+            finally:
+                await service.stop()
+            return results, stats
+
+        (head, late1, late2), stats = asyncio.run(run())
+        assert head.H.shape == (K, 1)
+        assert isinstance(late1, DeadlineExceededError)
+        assert isinstance(late2, DeadlineExceededError)
+        assert stats["deadline_total"] == 2
+
+    def test_full_queue_sheds_with_503(self, slow_kernel):
+        store = _store()
+
+        async def run():
+            service = ProjectionService(store, batch_window=0.0,
+                                        max_batch_columns=1, queue_limit=1,
+                                        default_deadline=5.0)
+            await service.start()
+            try:
+                head = asyncio.create_task(service.submit("m", np.ones(M)))
+                await asyncio.sleep(0.02)  # head dequeued into the kernel
+                second = asyncio.create_task(service.submit("m", np.ones(M)))
+                await asyncio.sleep(0)     # second now occupies the queue
+                with pytest.raises(ServerOverloadedError, match="full"):
+                    await service.submit("m", np.ones(M))
+                results = await asyncio.gather(head, second)
+                stats = service.stats.snapshot()
+            finally:
+                await service.stop()
+            return results, stats
+
+        (head, second), stats = asyncio.run(run())
+        assert head.H.shape == (K, 1)
+        assert second.H.shape == (K, 1)  # queued, not shed: served after head
+        assert stats["shed_total"] == 1
+
+    def test_kernel_failure_fails_batch_but_not_service(self, monkeypatch):
+        store = _store()
+
+        calls = {"n": 0}
+        real = server_mod.project_blocks
+
+        def flaky(*args, **kwargs):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("kernel exploded")
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(server_mod, "project_blocks", flaky)
+
+        async def run():
+            service = ProjectionService(store, batch_window=0.0)
+            await service.start()
+            try:
+                with pytest.raises(RuntimeError, match="exploded"):
+                    await service.submit("m", np.ones(M))
+                recovered = await service.submit("m", np.ones(M))
+            finally:
+                await service.stop()
+            return recovered
+
+        assert asyncio.run(run()).H.shape == (K, 1)
+
+
+def _http(base, path, payload=None, method=None):
+    """Blocking stdlib HTTP helper; returns (status, parsed json body)."""
+    data = json.dumps(payload).encode() if payload is not None else None
+    request = urllib.request.Request(
+        base + path, data=data, method=method,
+        headers={"Content-Type": "application/json"} if data else {},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, json.loads(response.read().decode())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read().decode())
+
+
+class TestHttpServer:
+    def _run(self, scenario, **service_kwargs):
+        """Start a server on an ephemeral port, run ``scenario(base, ...)``."""
+        store = _store()
+        entry = store.get("m")
+
+        async def main():
+            service = ProjectionService(
+                store, **{"batch_window": 0.01, **service_kwargs})
+            server = ProjectionServer(service, port=0, refresh_every=4)
+            await server.start()
+            loop = asyncio.get_running_loop()
+            base = f"http://127.0.0.1:{server.port}"
+            try:
+                return await scenario(loop, base, store, entry)
+            finally:
+                await server.stop()
+
+        return asyncio.run(main())
+
+    def test_healthz_and_stats(self):
+        async def scenario(loop, base, store, entry):
+            health = await loop.run_in_executor(None, _http, base, "/healthz")
+            stats = await loop.run_in_executor(None, _http, base, "/stats")
+            return health, stats
+
+        (h_status, health), (s_status, stats) = self._run(scenario)
+        assert h_status == 200 and health["status"] == "ok"
+        assert health["models"][0]["name"] == "m"
+        assert s_status == 200
+        assert stats["requests_total"] == 0
+        assert "latency_seconds" in stats
+
+    def test_concurrent_projections_match_solo_scalar(self):
+        X = np.abs(RNG.standard_normal((M, 6)))
+
+        async def scenario(loop, base, store, entry):
+            calls = [
+                loop.run_in_executor(
+                    None, _http, base, "/v1/models/m/project",
+                    {"column": X[:, i].tolist()},
+                )
+                for i in range(6)
+            ]
+            return await asyncio.gather(*calls)
+
+        results = self._run(scenario, kernel="batched")
+        assert all(status == 200 for status, _ in results)
+        assert any(body["batch_columns"] > 1 for _, body in results)
+
+    def test_http_response_values_equal_solo_projection(self):
+        X = np.abs(RNG.standard_normal((M, 3)))
+
+        async def scenario(loop, base, store, entry):
+            status, body = await loop.run_in_executor(
+                None, _http, base, "/v1/models/m/project",
+                {"columns": [X[:, i].tolist() for i in range(3)]},
+            )
+            return status, body, entry
+
+        status, body, entry = self._run(scenario, kernel="batched")
+        assert status == 200
+        alone = project(entry.W, X, kernel="scalar", gram=entry.gram)
+        # JSON round-trips float64 exactly: values match the scalar solo
+        # projection to the last bit.
+        assert body["h"] == alone.T.tolist()
+        assert body["version"] == 1
+        assert len(body["residuals"]) == 3
+
+    def test_malformed_requests_get_400(self):
+        async def scenario(loop, base, store, entry):
+            cases = [
+                ("/v1/models/m/project", {"column": [1.0] * (M + 1)}),
+                ("/v1/models/m/project", {"column": [1.0] * M,
+                                          "columns": [[1.0] * M]}),
+                ("/v1/models/m/project", {}),
+                ("/v1/models/m/project", {"columns": []}),
+                ("/v1/models/m/project", {"column": [1.0] * M,
+                                          "timeout": -1}),
+                ("/v1/models/m/project", {"columns": [[1.0], [1.0, 2.0]]}),
+            ]
+            out = []
+            for path, payload in cases:
+                out.append(await loop.run_in_executor(
+                    None, _http, base, path, payload))
+            raw = await loop.run_in_executor(
+                None, _http, base, "/v1/models/m/project", "not json")
+            out.append(raw)
+            return out
+
+        results = self._run(scenario)
+        assert [status for status, _ in results] == [400] * 7
+        assert "features" in results[0][1]["error"]
+
+    def test_unknown_model_and_route_get_404(self):
+        async def scenario(loop, base, store, entry):
+            missing = await loop.run_in_executor(
+                None, _http, base, "/v1/models/ghost/project",
+                {"column": [1.0] * M})
+            noroute = await loop.run_in_executor(
+                None, _http, base, "/v1/nothing")
+            return missing, noroute
+
+        (m_status, m_body), (r_status, _) = self._run(scenario)
+        assert m_status == 404
+        assert m_body["type"] == "ModelNotFoundError"
+        assert r_status == 404
+
+    def test_wrong_method_gets_405(self):
+        async def scenario(loop, base, store, entry):
+            getting = await loop.run_in_executor(
+                None, _http, base, "/v1/models/m/project", None, "GET")
+            posting = await loop.run_in_executor(
+                None, _http, base, "/healthz", {}, "POST")
+            return getting, posting
+
+        (g_status, _), (p_status, _) = self._run(scenario)
+        assert g_status == 405 and p_status == 405
+
+    def test_ingest_publishes_on_cadence(self):
+        async def scenario(loop, base, store, entry):
+            statuses = []
+            for _ in range(4):  # refresh_every=4 -> one published version
+                column = np.abs(RNG.standard_normal(M))
+                statuses.append(await loop.run_in_executor(
+                    None, _http, base, "/v1/models/m/ingest",
+                    {"column": column.tolist()}))
+            return statuses, store.get("m").version
+
+        statuses, version = self._run(scenario)
+        assert [s for s, _ in statuses] == [200] * 4
+        assert statuses[-1][1]["columns_seen"] == 4
+        assert version == 2
+        assert statuses[-1][1]["serving_version"] == 2
+
+    def test_reload_endpoint_on_in_memory_model_is_500(self):
+        async def scenario(loop, base, store, entry):
+            return await loop.run_in_executor(
+                None, _http, base, "/v1/models/m/reload", {})
+
+        status, body = self._run(scenario)
+        assert status == 500
+        assert body["type"] == "ModelLoadError"
+
+    def test_run_self_test_round_trip(self):
+        store = _store()
+
+        async def main():
+            service = ProjectionService(store, batch_window=0.01,
+                                        kernel="batched")
+            server = ProjectionServer(service, port=0)
+            await server.start()
+            try:
+                return await run_self_test(server, n_requests=5)
+            finally:
+                await server.stop()
+
+        summary = asyncio.run(main())
+        assert summary["requests"] == 5
+        assert summary["stats"]["responses_total"] == 5
+        assert all(np.isfinite(r["residuals"]).all()
+                   for r in summary["responses"])

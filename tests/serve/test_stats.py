@@ -1,0 +1,92 @@
+"""Serving telemetry: nearest-rank percentiles, ring window, snapshot shape."""
+
+import math
+
+import pytest
+
+from repro.serve import LatencyWindow, ServeStats, percentile
+
+
+class TestPercentile:
+    def test_empty_is_nan(self):
+        assert math.isnan(percentile([], 50.0))
+
+    def test_single_value(self):
+        assert percentile([7.0], 50.0) == 7.0
+        assert percentile([7.0], 99.0) == 7.0
+
+    def test_nearest_rank_definition(self):
+        values = [float(v) for v in range(1, 11)]  # 1..10
+        assert percentile(values, 50.0) == 5.0     # ceil(10*0.5) = rank 5
+        assert percentile(values, 90.0) == 9.0
+        assert percentile(values, 99.0) == 10.0
+        assert percentile(values, 0.0) == 1.0      # clamped to rank 1
+        assert percentile(values, 100.0) == 10.0
+
+    def test_order_independent(self):
+        assert percentile([3.0, 1.0, 2.0], 50.0) == 2.0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101.0)
+        with pytest.raises(ValueError):
+            percentile([1.0], -1.0)
+
+
+class TestLatencyWindow:
+    def test_quantiles_of_recent_observations(self):
+        window = LatencyWindow()
+        for v in range(1, 101):
+            window.record(v / 1000.0)
+        q = window.quantiles((50.0, 99.0))
+        assert q["p50"] == 0.050
+        assert q["p99"] == 0.099
+
+    def test_ring_drops_oldest(self):
+        window = LatencyWindow(maxlen=4)
+        for v in (1.0, 2.0, 3.0, 4.0, 5.0):
+            window.record(v)
+        assert len(window) == 4
+        assert window.quantiles((100.0,))["p100"] == 5.0
+        assert window.quantiles((0.0,))["p0"] == 2.0  # 1.0 evicted
+
+
+class TestServeStats:
+    def test_snapshot_shape(self):
+        stats = ServeStats()
+        snapshot = stats.snapshot()
+        for key in ("requests_total", "responses_total", "columns_total",
+                    "batches_total", "shed_total", "deadline_total",
+                    "validation_errors", "model_errors", "queue_depth",
+                    "batch_columns_histogram", "latency_seconds"):
+            assert key in snapshot
+        assert math.isnan(snapshot["mean_batch_columns"])
+
+    def test_batch_recording(self):
+        stats = ServeStats()
+        stats.record_admitted()
+        stats.record_admitted()
+        stats.record_batch(n_requests=2, n_columns=8)
+        stats.record_batch(n_requests=1, n_columns=8)
+        assert stats.requests_total == 2
+        assert stats.responses_total == 3
+        assert stats.columns_total == 16
+        assert stats.mean_batch_columns == 8.0
+        assert stats.snapshot()["batch_columns_histogram"] == {"8": 2}
+
+    def test_latency_quantiles_in_snapshot(self):
+        stats = ServeStats()
+        for v in (0.010, 0.020, 0.030):
+            stats.record_latency(v)
+        latency = stats.snapshot()["latency_seconds"]
+        assert latency["p50"] == 0.020
+        assert latency["p99"] == 0.030
+
+    def test_snapshot_is_json_safe(self):
+        import json
+
+        stats = ServeStats()
+        stats.record_batch(1, 4)
+        stats.record_latency(0.01)
+        parsed = json.loads(json.dumps(stats.snapshot()))
+        assert parsed["batches_total"] == 1

@@ -155,3 +155,52 @@ def test_experiment_table3(capsys):
 def test_experiment_scaling(capsys):
     assert main(["experiment", "scaling", "--dataset", "Video"]) == 0
     assert "Video" in capsys.readouterr().out
+
+
+def _serve_model(tmp_path):
+    from repro.core.api import fit
+    from repro.data.lowrank import planted_lowrank
+
+    res = fit(planted_lowrank(32, 24, 2, seed=0, noise_std=0.02), 2,
+              max_iters=2, seed=1)
+    return res.save(tmp_path / "model.npz")
+
+
+def test_serve_self_test_round_trip(capsys, tmp_path):
+    path = _serve_model(tmp_path)
+    code = main(["serve", str(path), "--port", "0", "--self-test", "4"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "serving" in out
+    assert "self-test passed" in out
+    assert '"responses_total": 4' in out
+
+
+def test_serve_named_model_spec(capsys, tmp_path):
+    path = _serve_model(tmp_path)
+    assert main(["serve", f"prod={path}", "--port", "0", "--self-test"]) == 0
+    assert "prod" in capsys.readouterr().out
+
+
+def test_serve_models_dir(capsys, tmp_path):
+    path = _serve_model(tmp_path)
+    code = main(["serve", "--models-dir", str(path.parent), "--port", "0",
+                 "--self-test", "2"])
+    assert code == 0
+    assert "model" in capsys.readouterr().out
+
+
+def test_serve_missing_model_errors(tmp_path):
+    with pytest.raises(SystemExit, match="ghost"):
+        main(["serve", str(tmp_path / "ghost.npz"), "--port", "0",
+              "--self-test"])
+
+
+def test_serve_without_models_errors():
+    with pytest.raises(SystemExit, match="nothing to serve"):
+        main(["serve", "--port", "0", "--self-test"])
+
+
+def test_serve_rejects_unknown_kernel():
+    with pytest.raises(SystemExit):
+        main(["serve", "x.npz", "--kernel", "warp-drive"])
