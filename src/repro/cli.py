@@ -93,6 +93,7 @@ def _cmd_factorize(args: argparse.Namespace) -> int:
         seed=args.seed,
         **({"kernel": args.kernel} if args.kernel else {}),
         **({"overlap": False} if args.no_overlap else {}),
+        **({"panel_comm": False} if args.no_panel_comm else {}),
     )
     print(result.summary())
     if args.save:
@@ -109,10 +110,15 @@ def _resolve_machine(name: str, ranks: int = 1) -> MachineSpec:
     # "local": micro-benchmark this host.  When planning a parallel run,
     # measure the per-rank GEMM rate under real contention (process backend)
     # rather than extrapolating the single-rank rate — but never launch more
-    # probe processes than this process may actually use.
+    # probe processes than this process may actually use.  rate_overlap also
+    # measures the achieved compute/comm hiding ratio per backend, so the
+    # pipelined candidates' exposed/hidden split reflects this host rather
+    # than the static DEFAULT_OVERLAP_EFFICIENCY guesses.
     from repro.comm.backends.process import available_cpus
 
-    return MachineSpec.calibrate(ranks=max(1, min(ranks, available_cpus())))
+    return MachineSpec.calibrate(
+        ranks=max(1, min(ranks, available_cpus())), rate_overlap=True
+    )
 
 
 def _cmd_plan(args: argparse.Namespace) -> int:
@@ -161,6 +167,12 @@ def _cmd_plan(args: argparse.Namespace) -> int:
     except SolverError as exc:  # e.g. --kernel numba without numba installed
         raise SystemExit(str(exc)) from None
     print(render_plan_table(plans))
+    if machine.overlap_efficiency is not None:
+        rates = ", ".join(
+            f"{backend}={machine.overlap_efficiency[backend]:.2f}"
+            for backend in sorted(machine.overlap_efficiency)
+        )
+        print(f"measured overlap efficiency (hidden fraction of in-flight comm): {rates}")
     return 0
 
 
@@ -325,6 +337,12 @@ def build_parser() -> argparse.ArgumentParser:
                            "instead of the default pipelined one (nonblocking "
                            "collectives overlapping compute); results are "
                            "byte-identical either way")
+    fact.add_argument("--no-panel-comm", action="store_true",
+                      help="keep the pipelined schedule but issue the "
+                           "line-7/line-13 reduce-scatters as monolithic "
+                           "blocking calls instead of panel-streaming them "
+                           "behind the tiled MM; results are byte-identical "
+                           "either way")
     fact.add_argument("--save", help="write the full result to this .npz path")
     fact.set_defaults(func=_cmd_factorize)
 

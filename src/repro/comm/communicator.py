@@ -266,6 +266,30 @@ class Comm:
         if ledger is not None:
             ledger.record(operation, self.size, n_words)
 
+    def record_collective(self, operation: str, n_words: float) -> None:
+        """Record one modeled §2.3 collective on the attached ledger.
+
+        This is the explicit booking entry used by callers that *silence* a
+        group of physical collectives standing in for one modeled operation —
+        the panel-streamed reduce-scatter issues one ``ireduce_scatter`` per
+        panel with ``record=False`` and then books a single monolithic entry
+        here, so the ledger carries exactly the call/word/message totals the
+        blocking call would have recorded.  Mirrors the blocking collectives'
+        size-1 fast path (nothing is recorded on a singleton communicator).
+        """
+        if self.size > 1:
+            self._record(operation, n_words)
+
+    @contextlib.contextmanager
+    def _silenced(self):
+        """Temporarily suppress ledger recording on this communicator."""
+        was_silent = self._silent
+        self._silent = True
+        try:
+            yield
+        finally:
+            self._silent = was_silent
+
     # -- synchronization ---------------------------------------------------
     def barrier(self) -> None:
         """Block until all ranks of this communicator reach the barrier."""
@@ -587,12 +611,8 @@ class Comm:
         thread holds it, and a parent reference would keep the issuing
         communicator alive forever).
         """
-        was_silent = self._silent
-        self._silent = True
-        try:
+        with self._silenced():
             shadow = self.split(color=0, key=self.rank)
-        finally:
-            self._silent = was_silent
         shadow._silent = True
         shadow._parent = None
         return shadow
@@ -632,14 +652,25 @@ class Comm:
         body_factory,
         ledger_op: str,
         out: Optional[np.ndarray],
+        record: bool = True,
     ) -> CommHandle:
-        """Shared issue path: eager completion or helper submission."""
+        """Shared issue path: eager completion or helper submission.
+
+        With ``record=False`` the operation leaves no ledger entry at all —
+        the caller is expected to book one modeled collective for a whole
+        group of physical ones via :meth:`record_collective` (the
+        panel-streaming contract; see :mod:`repro.comm.panels`).
+        """
         tag = self._next_nb_tag()
         unpin = self._pin_out(out, op, tag)
         if self._nonblocking_eager:
             start = time.perf_counter()
             try:
-                result = blocking_call()
+                if record:
+                    result = blocking_call()
+                else:
+                    with self._silenced():
+                        result = blocking_call()
             except BaseException:
                 if unpin is not None:
                     unpin()
@@ -650,7 +681,7 @@ class Comm:
             op,
             tag,
             unpin=unpin,
-            record=lambda words: self._record(ledger_op, words),
+            record=(lambda words: self._record(ledger_op, words)) if record else None,
         )
         self._nb_runner.submit(handle, body_factory())
         return handle
@@ -691,12 +722,20 @@ class Comm:
         array: np.ndarray,
         op: ReduceOp = ReduceOp.SUM,
         out: Optional[np.ndarray] = None,
+        record: bool = True,
     ) -> CommHandle:
         """Nonblocking :meth:`allreduce`; returns a :class:`CommHandle`.
 
         Byte-identical to the blocking call: the helper gathers the full
         contributions point-to-point and combines them in rank order, the
         same order the native collective uses.
+
+        ``record=False`` suppresses this operation's ledger entry so a caller
+        can book it via :meth:`record_collective` at the *blocking schedule's
+        program point* instead of at completion time — keeping the ledger's
+        per-entry accumulation order (and hence its floating-point sums)
+        identical across schedules even while the operation is in flight past
+        other collectives (the deferred error path of the pipelined loops).
         """
         array = np.asarray(array)
         self._validate_out(out, array, expected_shape=array.shape)
@@ -706,6 +745,7 @@ class Comm:
             lambda: _allreduce_body(array.copy(), op, out),
             "all_reduce",
             out,
+            record=record,
         )
 
     def ireduce_scatter(
@@ -715,8 +755,15 @@ class Comm:
         axis: int = 0,
         op: ReduceOp = ReduceOp.SUM,
         out: Optional[np.ndarray] = None,
+        record: bool = True,
     ) -> CommHandle:
-        """Nonblocking :meth:`reduce_scatter`; returns a :class:`CommHandle`."""
+        """Nonblocking :meth:`reduce_scatter`; returns a :class:`CommHandle`.
+
+        ``record=False`` suppresses this operation's ledger entry so a caller
+        splitting one modeled reduce-scatter into per-panel pieces can book
+        the single monolithic entry itself with :meth:`record_collective`
+        (panel streaming, :mod:`repro.comm.panels`).
+        """
         array = np.asarray(array)
         length = array.shape[axis]
         if counts is None:
@@ -744,6 +791,7 @@ class Comm:
             lambda: _reduce_scatter_body(array.copy(), index, op, out),
             "reduce_scatter",
             out,
+            record=record,
         )
 
     # -- communicator management --------------------------------------------

@@ -47,6 +47,13 @@ issuing communicator, when the handle completes.  Pipelined and blocking
 schedules therefore produce identical ledgers (the acceptance criterion that
 communication *volume* stays on the paper's Table 2).
 
+One modeled collective may be carried by several physical handles: the
+panel-streamed reduce-scatter (:mod:`repro.comm.panels`) issues one
+``ireduce_scatter(record=False)`` per MM panel — suppressing the per-handle
+ledger entry — and books a single :meth:`Comm.record_collective` with the
+monolithic call's word count once the stream completes, keeping the ledger
+indistinguishable from the blocking schedule's.
+
 Workspace safety
 ----------------
 A handle that writes into a :attr:`Comm.workspace` buffer *pins* it for the

@@ -91,6 +91,17 @@ class NMFConfig:
         2/3 schedules (the CLI's ``--no-overlap``).  Both schedules produce
         byte-identical factors and identical cost ledgers; the sequential
         algorithm has no collectives and ignores the flag.
+    panel_comm:
+        Whether the pipelined HPC loops additionally *panel-stream* the
+        line-7/line-13 reduce-scatters (default): the line-6/line-12 matmul
+        is tiled along the scatter split boundaries and each finished panel
+        is issued as a nonblocking ``ireduce_scatter``, so panel ``t``'s
+        communication overlaps panel ``t+1``'s GEMM (see
+        :mod:`repro.comm.panels`).  ``False`` keeps the PR-7 schedule
+        (monolithic blocking reduce-scatters) — the bench baseline times the
+        two against each other (``dense:process_panel_vs_pipelined``).  Only
+        meaningful when ``overlap`` is on; all schedules stay byte-identical
+        in factors and cost ledgers.  The CLI flag is ``--no-panel-comm``.
     """
 
     k: int
@@ -106,6 +117,7 @@ class NMFConfig:
     backend: str = "thread"
     kernel: str = "scalar"
     overlap: bool = True
+    panel_comm: bool = True
 
     def __post_init__(self):
         if self.k < 1:
@@ -130,6 +142,11 @@ class NMFConfig:
             raise ShapeError(
                 f"overlap must be a bool (pipelined vs blocking schedule), "
                 f"got {self.overlap!r}"
+            )
+        if not isinstance(self.panel_comm, bool):
+            raise ShapeError(
+                f"panel_comm must be a bool (panel-streamed vs monolithic "
+                f"reduce-scatters), got {self.panel_comm!r}"
             )
         # Normalise the algorithm field so strings are accepted.
         object.__setattr__(self, "algorithm", Algorithm(self.algorithm))

@@ -40,6 +40,7 @@ from repro.comm.communicator import Comm
 from repro.comm.cost import CostLedger
 from repro.comm.grid import ProcessGrid, choose_grid
 from repro.comm.nonblocking import finish
+from repro.comm.panels import panel_slices, stream_reduce_scatter
 from repro.comm.profiler import Profiler, TaskCategory
 from repro.core.config import Algorithm, NMFConfig
 from repro.core.initialization import init_h_slice
@@ -151,6 +152,18 @@ def hpc_nmf(
     w_scatter_counts = block_counts(local_rows, pc)
     h_scatter_counts = block_counts(local_cols, pr)
 
+    # The scatter boundaries also tile the line-6/line-12 matmuls: the rows
+    # of V_ij bound for row-comm rank t come from the matching row panel of
+    # A_ij, the columns of Y_ij for col-comm rank t from the matching column
+    # panel.  Both schedules compute the MM panel-by-panel over these slices
+    # (pre-cut once; for sparse CSR the column cut is the one real copy), so
+    # panel streaming versus monolithic reduce-scatter is purely a schedule
+    # choice — never a different GEMM rounding.
+    w_slices = panel_slices(w_scatter_counts)
+    h_slices = panel_slices(h_scatter_counts)
+    a_row_panels = [data.block[s] for s in w_slices]
+    a_col_panels = [data.block[:, s] for s in h_slices]
+
     # Reusable collective workspaces: every iteration runs the same
     # collectives on the same shapes, so their results are written into
     # persistent per-rank buffers instead of fresh allocations.  Each live
@@ -166,6 +179,14 @@ def hpc_nmf(
     W_i_buf = ws.get("W_i", (local_rows, k))
     aht_buf = ws.get("aht_block", (w_sub_rows, k))
     wta_buf = ws.get("wta_block", (k, h_sub_cols))
+    # Assembly buffers for the blocking schedule's monolithic reduce-scatters
+    # (the panel-streamed schedule never materialises the full MM output) and
+    # the persistent home of W's local sub-block — the line-8 NLS returns
+    # (W_i)_jᵀ, whose transpose is copied here instead of allocating a fresh
+    # contiguous array every iteration.
+    v_buf = ws.get("v_block", (local_rows, k))
+    y_buf = ws.get("y_block", (k, local_cols))
+    w_local_buf = ws.get("w_local", (w_sub_rows, k))
 
     variant_name = "hpc1d" if config.algorithm == Algorithm.HPC_1D else "hpc2d"
     control = LoopControl(config, observers, comm=comm, variant=variant_name).start()
@@ -183,10 +204,15 @@ def hpc_nmf(
     # overlaps the error path and lines 3-4; the line-4 all-reduce is issued
     # nonblocking and claimed only just before the line-8 NLS needs it; the
     # line-11 W_i gather is issued right after line 8 so it overlaps the
-    # lines 9-10 Gram + all-reduce.  Both schedules run the same collectives
+    # lines 9-10 Gram + all-reduce.  With config.panel_comm the line-7 and
+    # line-13 reduce-scatters are additionally *panel-streamed*: each tiled
+    # MM panel is issued as a nonblocking ireduce_scatter the moment it is
+    # computed, so panel t's communication overlaps panel t+1's GEMM (see
+    # repro.comm.panels).  Every schedule runs the same modeled collectives
     # the same number of times in the same program order on every rank, so
     # factors and cost ledgers stay byte-identical.
     pipeline = bool(config.overlap) and p > 1
+    panel_stream = pipeline and bool(config.panel_comm)
     # Issuing iteration i+1's gather *before* iteration i's stopping decision
     # is only safe when the loop provably runs to max_iters (fixed iteration
     # count and nobody who can request an early stop).  Otherwise the gather
@@ -202,13 +228,43 @@ def hpc_nmf(
     # Iteration 0's line-5 gather, issued before the loop (H is seeded).
     h_gather = H_fac.icol_block(out=H_j_buf) if pipeline else None
 
+    # Deferred error path (speculative regime only): iteration i's gram_h_new
+    # all-reduce stays in flight *across the iteration boundary* — it is next
+    # iteration's gram_h via the cached_gram_h reuse — and is claimed just
+    # before the line-8 NLS needs it, overlapping the cross-term reduction,
+    # the line-5 gather wait and the whole line-6/7 panel stream.  Iteration
+    # i's history record is deferred with it, which is safe exactly in the
+    # speculative regime: tol == 0 and no observers means record() can never
+    # request a stop, and records still happen in iteration order.
+    pending = None
+
+    def claim_pending():
+        nonlocal pending, cached_gram_h
+        gram_h_new = finish(pending["handle"], profiler, TaskCategory.ALL_REDUCE)
+        objective = objective_from_grams(
+            norm_a_sq, pending["cross"], pending["gram_w"], gram_h_new
+        )
+        rel_error = float(np.sqrt(objective / norm_a_sq)) if norm_a_sq > 0 else 0.0
+        control.record(
+            pending["iteration"],
+            objective=objective,
+            relative_error=rel_error,
+            seconds=pending["seconds"],
+        )
+        cached_gram_h = gram_h_new
+        pending = None
+        return gram_h_new
+
     try:
         for iteration in range(config.max_iters):
             iter_start = time.perf_counter()
 
             # ---------------- Compute W given H (lines 3-8) ----------------
+            gram_h = None
             gram_h_handle = None
-            if cached_gram_h is not None:
+            if pending is not None:
+                pass  # gram_h arrives when the in-flight error path is claimed
+            elif cached_gram_h is not None:
                 gram_h = cached_gram_h
             else:
                 with profiler.task(TaskCategory.GRAM):
@@ -224,12 +280,26 @@ def hpc_nmf(
             else:
                 with profiler.task(TaskCategory.ALL_GATHER):
                     H_j = H_fac.col_block(out=H_j_buf)               # line 5
-            with profiler.task(TaskCategory.MM):
-                V_ij = matmul_a_ht(data.block, H_j.T)                # line 6
-            with profiler.task(TaskCategory.REDUCE_SCATTER):
-                aht_block = grid.row_comm.reduce_scatter(            # line 7
-                    V_ij, counts=w_scatter_counts, axis=0, out=aht_buf
+            Ht = H_j.T
+            if panel_stream:
+                aht_block = stream_reduce_scatter(                   # lines 6-7
+                    grid.row_comm,
+                    lambda t: matmul_a_ht(a_row_panels[t], Ht),
+                    w_scatter_counts,
+                    axis=0,
+                    out=aht_buf,
+                    profiler=profiler,
                 )
+            else:
+                with profiler.task(TaskCategory.MM):
+                    for t, s in enumerate(w_slices):                 # line 6
+                        np.copyto(v_buf[s], matmul_a_ht(a_row_panels[t], Ht))
+                with profiler.task(TaskCategory.REDUCE_SCATTER):
+                    aht_block = grid.row_comm.reduce_scatter(        # line 7
+                        v_buf, counts=w_scatter_counts, axis=0, out=aht_buf
+                    )
+            if pending is not None:
+                gram_h = claim_pending()
             if gram_h_handle is not None:
                 gram_h = finish(gram_h_handle, profiler, TaskCategory.ALL_REDUCE)
             with profiler.task(TaskCategory.NLS):
@@ -238,7 +308,8 @@ def hpc_nmf(
                     aht_block.T,
                     x0=W_fac.local.T if np.any(W_fac.local) else None,
                 )
-            W_fac.local = np.ascontiguousarray(Wt_local.T)
+            np.copyto(w_local_buf, Wt_local.T)
+            W_fac.local = w_local_buf
 
             # ---------------- Compute H given W (lines 9-14) ---------------
             # Pipelined: the line-11 gather starts now and overlaps 9-10.
@@ -252,12 +323,23 @@ def hpc_nmf(
             else:
                 with profiler.task(TaskCategory.ALL_GATHER):
                     W_i = W_fac.row_block(out=W_i_buf)               # line 11
-            with profiler.task(TaskCategory.MM):
-                Y_ij = matmul_wt_a(W_i, data.block)                  # line 12
-            with profiler.task(TaskCategory.REDUCE_SCATTER):
-                wta_block = grid.col_comm.reduce_scatter(            # line 13
-                    Y_ij, counts=h_scatter_counts, axis=1, out=wta_buf
+            if panel_stream:
+                wta_block = stream_reduce_scatter(                   # lines 12-13
+                    grid.col_comm,
+                    lambda t: matmul_wt_a(W_i, a_col_panels[t]),
+                    h_scatter_counts,
+                    axis=1,
+                    out=wta_buf,
+                    profiler=profiler,
                 )
+            else:
+                with profiler.task(TaskCategory.MM):
+                    for t, s in enumerate(h_slices):                 # line 12
+                        np.copyto(y_buf[:, s], matmul_wt_a(W_i, a_col_panels[t]))
+                with profiler.task(TaskCategory.REDUCE_SCATTER):
+                    wta_block = grid.col_comm.reduce_scatter(        # line 13
+                        y_buf, counts=h_scatter_counts, axis=1, out=wta_buf
+                    )
             with profiler.task(TaskCategory.NLS):
                 H_fac.local = solver.solve(gram_w, wta_block, x0=H_fac.local)  # line 14
 
@@ -267,11 +349,46 @@ def hpc_nmf(
 
             objective = rel_error = float("nan")
             if config.compute_error:
-                cross = comm.allreduce_scalar(local_cross_term(wta_block, H_fac.local))
+                with profiler.task(TaskCategory.GRAM):
+                    local_gram_h = gram(H_fac.local, transpose_first=False)
+                # Pipelined: issue the H-Gram all-reduce first so it overlaps
+                # at least the cross-term reduction (and, speculatively, next
+                # iteration's lines 5-7).  Same two all-reduces either way;
+                # record=False + record_collective books the in-flight one at
+                # the blocking schedule's program point (after the cross), so
+                # the ledger's accumulation order stays schedule-invariant.
+                gram_h_new_handle = (
+                    comm.iallreduce(local_gram_h, out=gram_h_new_buf, record=False)
+                    if pipeline
+                    else None
+                )
                 with profiler.task(TaskCategory.ALL_REDUCE):
-                    gram_h_new = comm.allreduce(
-                        gram(H_fac.local, transpose_first=False), out=gram_h_new_buf
+                    cross = comm.allreduce_scalar(
+                        local_cross_term(wta_block, H_fac.local)
                     )
+                if gram_h_new_handle is not None:
+                    comm.record_collective(
+                        "all_reduce",
+                        local_gram_h.size * local_gram_h.itemsize / 8.0,
+                    )
+                if speculative and gram_h_new_handle is not None:
+                    pending = {
+                        "iteration": iteration,
+                        "cross": cross,
+                        "gram_w": gram_w,
+                        "handle": gram_h_new_handle,
+                        "seconds": time.perf_counter() - iter_start,
+                    }
+                    continue  # record() runs at the claim point
+                if gram_h_new_handle is not None:
+                    gram_h_new = finish(
+                        gram_h_new_handle, profiler, TaskCategory.ALL_REDUCE
+                    )
+                else:
+                    with profiler.task(TaskCategory.ALL_REDUCE):
+                        gram_h_new = comm.allreduce(
+                            local_gram_h, out=gram_h_new_buf
+                        )
                 cached_gram_h = gram_h_new
                 objective = objective_from_grams(norm_a_sq, cross, gram_w, gram_h_new)
                 rel_error = float(np.sqrt(objective / norm_a_sq)) if norm_a_sq > 0 else 0.0
@@ -284,12 +401,20 @@ def hpc_nmf(
                 break
             if pipeline and h_gather is None and iteration + 1 < config.max_iters:
                 h_gather = H_fac.icol_block(out=H_j_buf)
+        if pending is not None:
+            # The final iteration's error path has no next iteration to hide
+            # behind: claim it now and write its history record.
+            claim_pending()
     finally:
-        # Drain an unconsumed speculative gather (only possible on an
-        # exception mid-iteration) so its workspace buffer unpins, then stop
-        # the helper threads.  All no-ops on the blocking schedule.
+        # Drain an unconsumed speculative gather or deferred error-path
+        # all-reduce (only possible on an exception mid-iteration) so their
+        # workspace buffers unpin, then stop the helper threads.  All no-ops
+        # on the blocking schedule.
         if h_gather is not None:
             h_gather.wait()
+        if pending is not None:
+            pending["handle"].wait()
+            pending = None
         for c in (grid.col_comm, grid.row_comm, comm):
             c.shutdown_nonblocking()
 

@@ -125,6 +125,32 @@ def naive_parallel_nmf(
         comm.ensure_nonblocking()
     h_gather = comm.iallgatherv(H_local, axis=1, out=H_full_buf) if pipeline else None
 
+    # Deferred error path (speculative regime only, twin of hpc_nmf): the
+    # H-Gram all-reduce stays in flight across the iteration boundary — its
+    # result is next iteration's gram_h via the cached_gram_h reuse — and is
+    # claimed just before the line-4 NLS, overlapping the cross-term
+    # reduction, the gather wait and the A_i Hᵀ matmul.  The history record
+    # travels with it, which is safe because tol == 0 with no observers means
+    # record() can never request a stop.
+    pending = None
+
+    def claim_pending():
+        nonlocal pending, cached_gram_h
+        gram_h_new = finish(pending["handle"], profiler, TaskCategory.ALL_REDUCE)
+        objective = objective_from_grams(
+            norm_a_sq, pending["cross"], pending["gram_w"], gram_h_new
+        )
+        rel_error = float(np.sqrt(objective / norm_a_sq)) if norm_a_sq > 0 else 0.0
+        control.record(
+            pending["iteration"],
+            objective=objective,
+            relative_error=rel_error,
+            seconds=pending["seconds"],
+        )
+        cached_gram_h = gram_h_new
+        pending = None
+        return gram_h_new
+
     try:
         for iteration in range(config.max_iters):
             iter_start = time.perf_counter()
@@ -136,13 +162,18 @@ def naive_parallel_nmf(
             else:
                 with profiler.task(TaskCategory.ALL_GATHER):
                     H = comm.allgatherv(H_local, axis=1, out=H_full_buf)  # full k × n
-            if cached_gram_h is not None:
+            gram_h = None
+            if pending is not None:
+                pass  # gram_h arrives when the in-flight error path is claimed
+            elif cached_gram_h is not None:
                 gram_h = cached_gram_h
             else:
                 with profiler.task(TaskCategory.GRAM):
                     gram_h = gram(H, transpose_first=False)  # redundant on every rank
             with profiler.task(TaskCategory.MM):
                 a_ht = matmul_a_ht(data.row_block, H.T)      # (m/p) × k
+            if pending is not None:
+                gram_h = claim_pending()
             with profiler.task(TaskCategory.NLS):
                 Wt_local = solver.solve(
                     gram_h, a_ht.T, x0=W_local.T if np.any(W_local) else None
@@ -167,11 +198,44 @@ def naive_parallel_nmf(
             if config.compute_error:
                 # Gram trick with distributed pieces: cross term and H-Gram are
                 # summed over ranks with small all-reduces.
-                cross = comm.allreduce_scalar(local_cross_term(wt_a, H_local))
+                with profiler.task(TaskCategory.GRAM):
+                    local_gram_h = gram(H_local, transpose_first=False)
+                # Pipelined: issue the H-Gram all-reduce first so it overlaps
+                # at least the cross-term reduction (and, speculatively, next
+                # iteration's gather + matmul).  Same collectives either way;
+                # record=False + record_collective books the in-flight one at
+                # the blocking schedule's program point (after the cross), so
+                # the ledger's accumulation order stays schedule-invariant.
+                gram_h_new_handle = (
+                    comm.iallreduce(local_gram_h, out=gram_h_new_buf, record=False)
+                    if pipeline
+                    else None
+                )
                 with profiler.task(TaskCategory.ALL_REDUCE):
-                    gram_h_new = comm.allreduce(
-                        gram(H_local, transpose_first=False), out=gram_h_new_buf
+                    cross = comm.allreduce_scalar(local_cross_term(wt_a, H_local))
+                if gram_h_new_handle is not None:
+                    comm.record_collective(
+                        "all_reduce",
+                        local_gram_h.size * local_gram_h.itemsize / 8.0,
                     )
+                if speculative and gram_h_new_handle is not None:
+                    pending = {
+                        "iteration": iteration,
+                        "cross": cross,
+                        "gram_w": gram_w,
+                        "handle": gram_h_new_handle,
+                        "seconds": time.perf_counter() - iter_start,
+                    }
+                    continue  # record() runs at the claim point
+                if gram_h_new_handle is not None:
+                    gram_h_new = finish(
+                        gram_h_new_handle, profiler, TaskCategory.ALL_REDUCE
+                    )
+                else:
+                    with profiler.task(TaskCategory.ALL_REDUCE):
+                        gram_h_new = comm.allreduce(
+                            local_gram_h, out=gram_h_new_buf
+                        )
                 cached_gram_h = gram_h_new
                 objective = objective_from_grams(norm_a_sq, cross, gram_w, gram_h_new)
                 rel_error = float(np.sqrt(objective / norm_a_sq)) if norm_a_sq > 0 else 0.0
@@ -184,9 +248,16 @@ def naive_parallel_nmf(
                 break
             if pipeline and h_gather is None and iteration + 1 < config.max_iters:
                 h_gather = comm.iallgatherv(H_local, axis=1, out=H_full_buf)
+        if pending is not None:
+            # The final iteration's error path has no next iteration to hide
+            # behind: claim it now and write its history record.
+            claim_pending()
     finally:
         if h_gather is not None:
             h_gather.wait()
+        if pending is not None:
+            pending["handle"].wait()
+            pending = None
         comm.shutdown_nonblocking()
 
     return {

@@ -155,6 +155,7 @@ class MachineSpec:
         seed: int = 0,
         ranks: int = 1,
         rate_kernels: bool = True,
+        rate_overlap: bool = False,
     ) -> "MachineSpec":
         """Micro-benchmark *this* host and return a spec priced to it.
 
@@ -185,7 +186,21 @@ class MachineSpec:
         throughput ratios are stored in :attr:`kernel_speedups`, so
         ``repro plan --machine local --kernel ...`` prices the actual engines
         on this host (including numba's JIT-compiled one when importable —
-        its one-off compilation happens during warm-up, outside the timing).  The deterministic Edison constants
+        its one-off compilation happens during warm-up, outside the timing).
+
+        With ``rate_overlap`` the *achieved* compute/communication hiding
+        ratio of the pipelined schedule is additionally measured per backend
+        (see :func:`_overlap_probe`): a two-rank SPMD program times an
+        all-reduce alone, a GEMM followed by a blocking all-reduce, and the
+        same GEMM with the all-reduce in flight (``iallreduce`` → GEMM →
+        wait); the hidden fraction ``(t_block - t_pipe) / t_comm`` is stored
+        in :attr:`overlap_efficiency` for the ``thread`` and ``process``
+        backends (``lockstep`` is pinned at 0.0 — it completes nonblocking
+        ops eagerly at issue, by design).  These measured values replace the
+        static :data:`DEFAULT_OVERLAP_EFFICIENCY` guesses in
+        ``pipelined_breakdown()`` and the planner's pipelined twin
+        candidates.  A backend whose probe fails keeps its static default
+        (with a :class:`RuntimeWarning`).  The deterministic Edison constants
         (:func:`edison_machine`) remain the default everywhere; calibration
         is opt-in (``repro plan --machine local``, ``fit(...,
         machine=MachineSpec.calibrate())``) so tests and figure regeneration
@@ -251,9 +266,39 @@ class MachineSpec:
             scalar_time = times["scalar"]
             kernel_speedups = {k: scalar_time / t for k, t in times.items()}
 
+        overlap_efficiency = None
+        if rate_overlap:
+            from repro.comm.backends import run_spmd
+
+            overlap_efficiency = dict(DEFAULT_OVERLAP_EFFICIENCY)
+            overlap_efficiency["lockstep"] = 0.0  # eager completion at issue
+            for backend in ("thread", "process"):
+                try:
+                    per_rank = run_spmd(
+                        2, _overlap_probe, size, repeats, seed,
+                        name="calibrate-overlap", backend=backend,
+                    )
+                except Exception as exc:  # noqa: BLE001 - probe is best-effort
+                    import warnings
+
+                    warnings.warn(
+                        f"overlap calibration on the {backend} backend failed "
+                        f"({exc}); keeping the static default "
+                        f"{DEFAULT_OVERLAP_EFFICIENCY[backend]}",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                else:
+                    # An SPMD iteration finishes when the last rank does, so
+                    # the fleet-wide hidden fraction is the worst rank's.
+                    overlap_efficiency[backend] = min(per_rank)
+
         network = AlphaBetaGamma(alpha=1.0e-7, beta=beta, gamma=gamma, name=name)
         return cls(
-            network=network, dense_mm_efficiency=1.0, kernel_speedups=kernel_speedups
+            network=network,
+            dense_mm_efficiency=1.0,
+            kernel_speedups=kernel_speedups,
+            overlap_efficiency=overlap_efficiency,
         )
 
 
@@ -277,6 +322,64 @@ def _gemm_probe(comm, size: int, repeats: int, seed: int) -> float:
     if comm is not None:
         comm.barrier()
     return min(_timed(lambda: x @ y) for _ in range(repeats))
+
+
+def _overlap_probe(comm, size: int, repeats: int, seed: int) -> float:
+    """Measured fraction of an all-reduce this backend hides behind a GEMM.
+
+    SPMD program (2 ranks): times, best-of-``repeats`` with a barrier before
+    every sample so the ranks genuinely contend,
+
+    * ``t_comm`` — a blocking ``size × size`` all-reduce alone,
+    * ``t_block`` — a ``size × size`` GEMM followed by the blocking
+      all-reduce (the unpipelined schedule),
+    * ``t_pipe`` — the all-reduce issued nonblocking, the GEMM, then the
+      wait (the pipelined schedule).
+
+    The achieved hiding ratio is ``(t_block - t_pipe) / t_comm``, clamped to
+    ``[0, 1]``: 1.0 means the collective vanished entirely behind the GEMM,
+    0.0 means pipelining bought nothing.  The communicator is silent (no
+    ledger attached) and its helper threads are shut down before returning.
+    """
+    import numpy as np
+
+    from repro.util.seeding import per_rank_seed
+
+    rng = np.random.default_rng(per_rank_seed(seed, comm.rank))
+    x = rng.standard_normal((size, size))
+    y = rng.standard_normal((size, size))
+    msg = rng.standard_normal((size, size))
+    out = np.empty_like(msg)
+
+    comm.ensure_nonblocking()
+    try:
+        # Warm-up: BLAS pools, page faults, helper-thread spin-up.
+        x @ y
+        comm.allreduce(msg, out=out)
+        comm.iallreduce(msg, out=out).wait()
+
+        def sample(fn):
+            comm.barrier()
+            return _timed(fn)
+
+        def pipelined():
+            handle = comm.iallreduce(msg, out=out)
+            x @ y
+            handle.wait()
+
+        def blocked():
+            x @ y
+            comm.allreduce(msg, out=out)
+
+        t_comm = min(sample(lambda: comm.allreduce(msg, out=out)) for _ in range(repeats))
+        t_block = min(sample(blocked) for _ in range(repeats))
+        t_pipe = min(sample(pipelined) for _ in range(repeats))
+    finally:
+        comm.shutdown_nonblocking()
+
+    if t_comm <= 0.0:
+        return 0.0
+    return float(min(1.0, max(0.0, (t_block - t_pipe) / t_comm)))
 
 
 def _timed(fn) -> float:

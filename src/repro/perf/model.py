@@ -210,16 +210,32 @@ def hpc_breakdown(
 #: Fraction of each collective category the pipelined schedule *can* overlap
 #: with local compute, per variant.  Mirrors where the loops actually issue
 #: nonblocking operations: the HPC loops pipeline both factor all-gathers
-#: (line 5 overlaps the error path + lines 3-4, line 11 overlaps lines 9-10)
-#: and the line-4 Gram all-reduce (half the all-reduce budget — line 10's
-#: stays blocking because line 11 consumes W_i immediately after); Naive only
-#: pipelines the H gather (half its all-gather budget — the W gather's result
-#: is consumed immediately).  Reduce-scatters stay blocking in every loop:
-#: their inputs are produced by the MM directly before them.
+#: (line 5 overlaps the error path + lines 3-4, line 11 overlaps lines 9-10),
+#: *panel-stream* both reduce-scatters (the line-6/line-12 MMs are tiled
+#: along the scatter boundaries and each panel's ireduce_scatter rides behind
+#: the next panel's GEMM — see :mod:`repro.comm.panels`), and issue both the
+#: line-4 Gram all-reduce and the error path's H-Gram all-reduce nonblocking
+#: (the latter stays in flight across the iteration boundary as next
+#: iteration's gram_h; line 10's all-reduce stays blocking because line 11
+#: consumes W_i immediately after, keeping the all-reduce budget at roughly
+#: half).  Naive pipelines the H gather (half its all-gather budget — the W
+#: gather's result is consumed immediately) and its error-path all-reduce
+#: (its whole all-reduce budget; it has no reduce-scatters).
 OVERLAPPABLE_FRACTIONS = {
-    "naive": {TaskCategory.ALL_GATHER.value: 0.5},
-    "hpc1d": {TaskCategory.ALL_GATHER.value: 1.0, TaskCategory.ALL_REDUCE.value: 0.5},
-    "hpc2d": {TaskCategory.ALL_GATHER.value: 1.0, TaskCategory.ALL_REDUCE.value: 0.5},
+    "naive": {
+        TaskCategory.ALL_GATHER.value: 0.5,
+        TaskCategory.ALL_REDUCE.value: 1.0,
+    },
+    "hpc1d": {
+        TaskCategory.ALL_GATHER.value: 1.0,
+        TaskCategory.REDUCE_SCATTER.value: 1.0,
+        TaskCategory.ALL_REDUCE.value: 0.5,
+    },
+    "hpc2d": {
+        TaskCategory.ALL_GATHER.value: 1.0,
+        TaskCategory.REDUCE_SCATTER.value: 1.0,
+        TaskCategory.ALL_REDUCE.value: 0.5,
+    },
 }
 
 

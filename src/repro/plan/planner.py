@@ -243,6 +243,10 @@ def plan_candidates(
             # backend (overlap efficiency is a backend property) and that
             # backend can actually hide communication for this variant.
             # Word volume is identical — the schedule moves the same bytes.
+            # overlap_fraction reads the machine's measured per-backend
+            # hiding ratios when the spec was calibrated with
+            # rate_overlap=True (repro plan --machine local), and the
+            # static DEFAULT_OVERLAP_EFFICIENCY guesses otherwise.
             if (
                 backend is not None
                 and p > 1

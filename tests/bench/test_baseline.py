@@ -68,6 +68,33 @@ class TestRunBaseline:
         assert scalar_row["speedup_vs_scalar"] == 1.0
         assert "bpp_batched_vs_scalar" in measured["speedups"]
 
+    def test_overlap_panel_measures_three_schedules(self, measured):
+        overlap = measured["overlap"]
+        assert overlap["panel"] == "dense"
+        for row in overlap["rows"]:
+            for key in ("wall_blocking_s", "wall_pipelined_s", "wall_panel_s"):
+                assert row[key] > 0
+            assert row["pipelined_vs_blocking"] == pytest.approx(
+                row["wall_blocking_s"] / row["wall_pipelined_s"]
+            )
+            assert row["panel_vs_pipelined"] == pytest.approx(
+                row["wall_pipelined_s"] / row["wall_panel_s"]
+            )
+            assert row["panel_vs_blocking"] == pytest.approx(
+                row["wall_blocking_s"] / row["wall_panel_s"]
+            )
+            # Exposed-vs-hidden split per schedule, for the BENCH artifact.
+            assert set(row["comm_split"]) == {"blocking", "pipelined", "panel"}
+            for split in row["comm_split"].values():
+                assert split["exposed_comm_s"] >= 0.0
+                assert split["hidden_comm_s"] >= 0.0
+            # The blocking schedule hides nothing by construction.
+            assert row["comm_split"]["blocking"]["hidden_comm_s"] == 0.0
+        speedups = measured["speedups"]
+        assert "dense:process_pipelined_vs_blocking" in speedups
+        assert "dense:process_panel_vs_pipelined" in speedups
+        assert "dense:thread_panel_vs_pipelined" in speedups
+
     def test_kernel_panel_can_be_skipped(self):
         with warnings.catch_warnings():
             warnings.simplefilter("ignore", RuntimeWarning)
@@ -106,6 +133,12 @@ class TestArtifactIO:
         assert "BPP kernels" in table
         assert "batched" in table
         assert "bpp_batched_vs_scalar" in table
+
+    def test_render_mentions_overlap_panel(self, measured):
+        table = render_baseline(measured)
+        assert "panel-streamed" in table
+        assert "pan/pipe" in table
+        assert "dense:process_panel_vs_pipelined" in table
 
 
 class TestCheckBaseline:
@@ -164,4 +197,16 @@ class TestCheckBaseline:
         floor = next(f for f in committed["floors"]
                      if f["metric"] == "bpp_batched_vs_scalar")
         assert floor["min"] >= 2.0
+        assert floor["requires_cpus"] >= 4
+
+    def test_committed_baseline_gates_panel_streaming(self):
+        from pathlib import Path
+
+        committed = json.loads(
+            (Path(__file__).resolve().parents[2]
+             / "benchmarks" / "baselines" / "BENCH_baseline.json").read_text()
+        )
+        floor = next(f for f in committed["floors"]
+                     if f["metric"] == "dense:process_panel_vs_pipelined")
+        assert floor["min"] >= 1.0
         assert floor["requires_cpus"] >= 4

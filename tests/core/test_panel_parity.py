@@ -1,0 +1,127 @@
+"""Panel-streamed schedule parity and error-path booking.
+
+PR-9 contracts: the panel-streamed pipelined schedule (the default), the
+PR-7 pipelined schedule with monolithic reduce-scatters (``panel_comm=False``)
+and the blocking schedule produce byte-identical factors and identical cost
+ledgers on every backend — including uneven ``block_counts`` panel boundaries
+from non-power-of-two grids — and the error path's communication is booked:
+the cross-term all-reduce lands in the ``AllReduce`` category instead of
+vanishing from the breakdown.
+"""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.core.hpc_nmf as hpc_mod
+import repro.core.naive as naive_mod
+from repro.comm.communicator import SelfComm
+from repro.comm.profiler import Profiler, TaskCategory
+from repro.core.api import fit
+from repro.core.config import NMFConfig
+
+HPC_VARIANTS = ("hpc1d", "hpc2d")
+
+
+def _dense(seed=0, m=60, n=44):
+    rng = np.random.default_rng(seed)
+    return np.abs(rng.standard_normal((m, n)))
+
+
+def _sparse(seed=3, m=70, n=50):
+    return sp.random(m, n, density=0.15, random_state=seed, format="csr")
+
+
+def _run(A, variant, backend, p=4, **options):
+    return fit(
+        A, 5, variant=variant, backend=backend, n_ranks=p, max_iters=4,
+        seed=11, **options,
+    )
+
+
+@pytest.mark.parametrize("variant", HPC_VARIANTS)
+@pytest.mark.parametrize("backend", ["lockstep", "thread", "process"])
+@pytest.mark.parametrize("panel", ["dense", "sparse"])
+def test_panel_streamed_equals_monolithic_pipelined(variant, backend, panel):
+    A = _dense(seed=7) if panel == "dense" else _sparse(seed=9)
+    monolithic = _run(A, variant, backend, overlap=True, panel_comm=False)
+    streamed = _run(A, variant, backend, overlap=True, panel_comm=True)
+    np.testing.assert_array_equal(monolithic.W, streamed.W)
+    np.testing.assert_array_equal(monolithic.H, streamed.H)
+    assert monolithic.ledger_summary == streamed.ledger_summary
+
+
+@pytest.mark.parametrize("variant", HPC_VARIANTS)
+@pytest.mark.parametrize("panel", ["dense", "sparse"])
+def test_panel_streamed_matches_blocking_and_oracle(variant, panel):
+    A = _dense(seed=2) if panel == "dense" else _sparse(seed=5)
+    oracle = _run(A, variant, "lockstep", overlap=False)
+    for backend in ("thread", "process"):
+        streamed = _run(A, variant, backend, overlap=True, panel_comm=True)
+        np.testing.assert_array_equal(oracle.W, streamed.W)
+        np.testing.assert_array_equal(oracle.H, streamed.H)
+        assert oracle.ledger_summary == streamed.ledger_summary
+
+
+@pytest.mark.parametrize("grid", [(2, 3), (3, 2)])
+@settings(max_examples=8, deadline=None)
+@given(m=st.integers(min_value=13, max_value=34), n=st.integers(min_value=11, max_value=30))
+def test_uneven_panel_boundaries_stay_byte_identical(grid, m, n):
+    """Non-power-of-two grids make block_counts uneven (m % pr != 0 etc.),
+    driving zero-padding-free ragged panel splits through the stream."""
+    A = np.abs(np.random.default_rng(m * 100 + n).standard_normal((m, n)))
+    common = dict(variant="hpc2d", backend="lockstep", n_ranks=6, grid=grid,
+                  max_iters=2, seed=17)
+    blocking = fit(A, 3, overlap=False, **common)
+    streamed = fit(A, 3, overlap=True, panel_comm=True, **common)
+    np.testing.assert_array_equal(blocking.W, streamed.W)
+    np.testing.assert_array_equal(blocking.H, streamed.H)
+    assert blocking.ledger_summary == streamed.ledger_summary
+
+
+def _capture_profilers(monkeypatch, module):
+    captured = []
+
+    class CapturingProfiler(Profiler):
+        def __init__(self, *args, **kwargs):
+            super().__init__(*args, **kwargs)
+            captured.append(self)
+
+    monkeypatch.setattr(module, "Profiler", CapturingProfiler)
+    return captured
+
+
+def test_hpc_error_path_allreduces_are_booked(monkeypatch):
+    """The cross-term allreduce_scalar counts as AllReduce wall time: at
+    p=1, T iterations with error tracking book 4 + 3(T-1) AllReduce tasks
+    (iteration 0: line 4, line 10, cross, gram_h_new; later iterations skip
+    line 4 via the gram cache)."""
+    captured = _capture_profilers(monkeypatch, hpc_mod)
+    config = NMFConfig(k=4, max_iters=3, seed=1, algorithm="hpc2d")
+    hpc_mod.hpc_nmf(SelfComm(), _dense(seed=4, m=24, n=18), config)
+    (profiler,) = captured
+    assert profiler.calls(TaskCategory.ALL_REDUCE) == 4 + 3 * (3 - 1)
+
+
+def test_naive_error_path_allreduces_are_booked(monkeypatch):
+    """Naive books 2 AllReduce tasks per iteration with error tracking: the
+    cross term and the H-Gram reduction (its gram_h is computed redundantly,
+    not reduced)."""
+    captured = _capture_profilers(monkeypatch, naive_mod)
+    config = NMFConfig(k=4, max_iters=3, seed=1, algorithm="naive")
+    naive_mod.naive_parallel_nmf(SelfComm(), _dense(seed=4, m=24, n=18), config)
+    (profiler,) = captured
+    assert profiler.calls(TaskCategory.ALL_REDUCE) == 2 * 3
+
+
+def test_no_per_iteration_transpose_copy():
+    """The line-8 result transpose lands in the persistent w_local workspace
+    buffer — the same array object every iteration, not a fresh
+    ascontiguousarray copy."""
+    config = NMFConfig(k=4, max_iters=3, seed=1, algorithm="hpc2d")
+    comm = SelfComm()
+    out = hpc_mod.hpc_nmf(comm, _dense(seed=4, m=24, n=18), config)
+    assert out["W_local"] is comm.workspace.get("w_local", out["W_local"].shape)
+    assert out["W_local"].flags["C_CONTIGUOUS"]

@@ -17,11 +17,11 @@ def test_pipelined_breakdown_moves_time_to_hidden():
     overlapped = pipelined_breakdown(blocking, "hpc2d", "process", machine)
     hidden = overlapped.hidden_communication
     assert hidden > 0.0
-    # Exposed total shrinks by exactly the hidden amount; computation and the
-    # non-overlappable categories are untouched.
+    # Exposed total shrinks by exactly the hidden amount; computation is
+    # untouched.  Panel streaming makes the reduce-scatters overlappable too.
     assert overlapped.total == pytest.approx(blocking.total - hidden)
     assert overlapped.computation == pytest.approx(blocking.computation)
-    assert overlapped.get("ReduceScatter") == pytest.approx(blocking.get("ReduceScatter"))
+    assert overlapped.get("ReduceScatter") < blocking.get("ReduceScatter")
     assert overlapped.get("AllGather") < blocking.get("AllGather")
 
 
