@@ -1,0 +1,179 @@
+"""Speedup-trajectory guard: compare this run's BENCH_*.json to the last main run.
+
+The committed floors in ``benchmarks/baselines/BENCH_baseline.json`` are hard
+minima — deliberately conservative, so they only catch catastrophic
+regressions.  This script catches *drift*: it compares the headline
+``speedups`` map of the freshly measured ``BENCH_*.json`` against the same
+map from the previous successful main-branch CI run (downloaded as the
+``bench-baseline`` artifact) and fails when any shared headline regresses by
+more than ``--threshold`` (default 20%).
+
+On main pushes CI also calls it with ``--append`` to extend the committed
+``benchmarks/baselines/TRAJECTORY.jsonl`` — one JSON line per main run with
+the commit SHA and the full speedups map, so the repo carries its own
+performance history and floor-raising PRs can cite measured headroom.
+
+Usage (what .github/workflows/ci.yml runs)::
+
+    python benchmarks/trajectory.py --current bench-artifacts \
+        --previous prev-bench [--append benchmarks/baselines/TRAJECTORY.jsonl]
+
+Exit status: 0 when no shared headline regresses (including the no-previous
+bootstrap case, which is reported but never fatal); 1 on regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+DEFAULT_THRESHOLD = 0.2  # fail when current < previous * (1 - 0.2)
+
+
+def find_bench_payload(directory: Path) -> Optional[Path]:
+    """Newest ``BENCH_*.json`` under ``directory`` (recursive), or ``None``.
+
+    Artifact downloads unpack into subdirectories, so the search recurses;
+    ties break toward the most recently modified file.
+    """
+    candidates = sorted(
+        directory.rglob("BENCH_*.json"),
+        key=lambda p: (p.stat().st_mtime, p.name),
+    )
+    return candidates[-1] if candidates else None
+
+
+def load_speedups(path: Path) -> Dict[str, float]:
+    payload = json.loads(path.read_text())
+    speedups = payload.get("speedups", {})
+    return {str(k): float(v) for k, v in speedups.items()}
+
+
+def compare(
+    current: Dict[str, float],
+    previous: Dict[str, float],
+    threshold: float = DEFAULT_THRESHOLD,
+) -> Tuple[List[str], List[Tuple[str, float, float, float, bool]]]:
+    """Diff the headline speedups shared by both runs.
+
+    Returns ``(regressions, rows)``: ``regressions`` are human-readable
+    failure strings (empty = pass); ``rows`` are
+    ``(metric, previous, current, ratio, regressed)`` for every metric in
+    both maps, sorted by metric name, for the diff table.  Metrics present
+    in only one run are never regressions — panels come and go with the
+    measuring host's CPU count.
+    """
+    regressions: List[str] = []
+    rows: List[Tuple[str, float, float, float, bool]] = []
+    for metric in sorted(set(current) & set(previous)):
+        prev, curr = previous[metric], current[metric]
+        ratio = curr / prev if prev > 0 else float("inf")
+        regressed = curr < prev * (1.0 - threshold)
+        rows.append((metric, prev, curr, ratio, regressed))
+        if regressed:
+            regressions.append(
+                f"{metric}: {prev:.3f}x -> {curr:.3f}x "
+                f"({(1.0 - curr / prev) * 100.0:.1f}% drop, allowed {threshold * 100.0:.0f}%)"
+            )
+    return regressions, rows
+
+
+def render_table(rows: List[Tuple[str, float, float, float, bool]]) -> str:
+    header = f"{'metric':<44} {'previous':>10} {'current':>10} {'ratio':>8}  status"
+    lines = [header, "-" * len(header)]
+    for metric, prev, curr, ratio, regressed in rows:
+        status = "REGRESSED" if regressed else "ok"
+        lines.append(
+            f"{metric:<44} {prev:>9.3f}x {curr:>9.3f}x {ratio:>7.3f}x  {status}"
+        )
+    return "\n".join(lines)
+
+
+def append_trajectory(path: Path, bench_path: Path, speedups: Dict[str, float]) -> None:
+    """Append one JSONL record for this run to the committed trajectory."""
+    payload = json.loads(bench_path.read_text())
+    record = {
+        "sha": os.environ.get("GITHUB_SHA", "local"),
+        "created": payload.get("created"),
+        "scale": payload.get("scale"),
+        "p": payload.get("p"),
+        "cpu_count": payload.get("cpu_count"),
+        "speedups": speedups,
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a") as fh:
+        fh.write(json.dumps(record, sort_keys=True) + "\n")
+    print(f"trajectory: appended {record['sha'][:12]} to {path}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fail when a headline speedup drifts below the previous main run"
+    )
+    parser.add_argument(
+        "--current", required=True, type=Path,
+        help="directory holding this run's BENCH_*.json",
+    )
+    parser.add_argument(
+        "--previous", required=True, type=Path,
+        help="directory holding the previous main run's artifact "
+             "(missing or empty = bootstrap, exits 0)",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=DEFAULT_THRESHOLD,
+        help="allowed fractional drop per headline (default 0.2 = 20%%)",
+    )
+    parser.add_argument(
+        "--append", type=Path, default=None,
+        help="also append this run's speedups to the given TRAJECTORY.jsonl",
+    )
+    args = parser.parse_args(argv)
+
+    current_path = find_bench_payload(args.current)
+    if current_path is None:
+        print(f"trajectory: no BENCH_*.json under {args.current}", file=sys.stderr)
+        return 1
+    current = load_speedups(current_path)
+    print(f"trajectory: current  = {current_path} ({len(current)} headline speedups)")
+
+    if args.append is not None:
+        append_trajectory(args.append, current_path, current)
+
+    previous_path = (
+        find_bench_payload(args.previous) if args.previous.is_dir() else None
+    )
+    if previous_path is None:
+        print(
+            "trajectory: no previous bench-baseline artifact — first run on this "
+            "branch or artifact expired; nothing to compare (not a failure)."
+        )
+        return 0
+    previous = load_speedups(previous_path)
+    print(f"trajectory: previous = {previous_path} ({len(previous)} headline speedups)")
+
+    regressions, rows = compare(current, previous, args.threshold)
+    if not rows:
+        print("trajectory: no shared headline metrics between the two runs.")
+        return 0
+    print()
+    print(render_table(rows))
+    print()
+    if regressions:
+        print(
+            f"trajectory: {len(regressions)} headline(s) regressed more than "
+            f"{args.threshold * 100.0:.0f}% vs the previous main run:",
+            file=sys.stderr,
+        )
+        for line in regressions:
+            print(f"  {line}", file=sys.stderr)
+        return 1
+    print("trajectory: all shared headlines within tolerance.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

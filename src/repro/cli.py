@@ -34,6 +34,7 @@ from repro.comm.backends import available_backends
 from repro.core.api import fit
 from repro.core.variants import available_variants, get_variant
 from repro.data.registry import DATASETS, PAPER_DATASETS, load_dataset, measured_scale, paper_scale
+from repro.dist.storage import STORAGE_MODES
 from repro.nls.base import available_solvers
 from repro.nls.kernels import registered_kernels
 from repro.perf.experiments import comparison_vs_k, strong_scaling, table3_grid
@@ -94,6 +95,7 @@ def _cmd_factorize(args: argparse.Namespace) -> int:
         **({"kernel": args.kernel} if args.kernel else {}),
         **({"overlap": False} if args.no_overlap else {}),
         **({"panel_comm": False} if args.no_panel_comm else {}),
+        **({"storage": args.storage} if args.storage else {}),
     )
     print(result.summary())
     if args.save:
@@ -337,6 +339,11 @@ def build_parser() -> argparse.ArgumentParser:
                            "instead of the default pipelined one (nonblocking "
                            "collectives overlapping compute); results are "
                            "byte-identical either way")
+    fact.add_argument("--storage", default=None, choices=list(STORAGE_MODES),
+                      help="where each rank's local block of A lives (memory = "
+                           "resident, memmap = np.memmap-backed temp files for "
+                           "out-of-core blocks; sparse blocks stay in memory); "
+                           "results are byte-identical either way")
     fact.add_argument("--no-panel-comm", action="store_true",
                       help="keep the pipelined schedule but issue the "
                            "line-7/line-13 reduce-scatters as monolithic "

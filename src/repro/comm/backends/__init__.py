@@ -13,9 +13,15 @@ substrate that actually runs the per-rank programs:
   rank-ordered scheduling with at most one rank running at any instant —
   deterministic, deadlock-diagnosing, and able to simulate hundreds of ranks;
 * :mod:`~repro.comm.backends.process` — ``"process"``: one OS process per
-  rank over shared-memory collectives — the only substrate whose ranks
-  escape the GIL, hence the measured-speedup substrate
-  (:mod:`repro.bench` records its trajectory).
+  rank over shared-memory collectives — ranks escape the GIL, hence a
+  measured-speedup substrate (:mod:`repro.bench` records its trajectory);
+* :mod:`~repro.comm.backends.socket` — ``"socket"``: one OS process per rank
+  over a TCP mesh of length-prefixed frames (:mod:`repro.comm.wire`) — the
+  wire backend whose collectives genuinely serialize onto a byte stream;
+* :mod:`~repro.comm.backends.mpi` — ``"mpi"``: the same interface mapped
+  onto real MPI collectives via ``mpi4py``; registers only when ``mpi4py``
+  is importable (check :data:`~repro.comm.backends.mpi.MPI4PY_AVAILABLE`),
+  otherwise the name resolves to an actionable "unavailable" error.
 
 Select a backend by name anywhere downstream: ``NMFConfig(backend=...)``,
 ``fit(..., backend=...)``, the CLI's ``--backend`` flag, or
@@ -32,10 +38,12 @@ from repro.comm.backends.base import (
     get_backend_class,
     make_backend,
     register_backend,
+    register_unavailable_backend,
     run_spmd,
 )
 from repro.comm.backends.lockstep import LockstepBackend
 from repro.comm.backends.process import ProcessBackend
+from repro.comm.backends.socket import SocketBackend
 from repro.comm.backends.thread import ThreadBackend
 
 __all__ = [
@@ -45,11 +53,13 @@ __all__ = [
     "PeerAbortError",
     "ProcessBackend",
     "SharedGroupState",
+    "SocketBackend",
     "ThreadBackend",
     "available_backends",
     "backend_capabilities",
     "get_backend_class",
     "make_backend",
     "register_backend",
+    "register_unavailable_backend",
     "run_spmd",
 ]

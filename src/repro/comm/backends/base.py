@@ -15,17 +15,24 @@ communicator only, so backends are interchangeable:
   deadlock detection, and no concurrent-thread pressure even at hundreds of
   simulated ranks.
 * ``"process"`` (:class:`~repro.comm.backends.process.ProcessBackend`) runs
-  one OS process per rank over shared-memory deposit slots — the only
-  backend whose ranks escape the GIL, so the only one that can measure real
-  parallel speedups.
+  one OS process per rank over shared-memory deposit slots — ranks escape
+  the GIL, so real parallel speedups are measurable.
+* ``"socket"`` (:class:`~repro.comm.backends.socket.SocketBackend`) runs one
+  OS process per rank over a TCP mesh of length-prefixed frames — the wire
+  backend whose collectives genuinely serialize onto a byte stream.
+* ``"mpi"`` (:class:`~repro.comm.backends.mpi.MPIBackend`) maps the same
+  interface onto real MPI collectives via ``mpi4py``; it registers only when
+  ``mpi4py`` is importable, otherwise the name resolves to a clear
+  "unavailable" error (see :func:`register_unavailable_backend`).
 
 Each backend class carries :data:`CAPABILITY_FLAGS` class attributes
 (``deterministic_schedule``, ``parallel_python``, ``cross_process``,
-``simulates_large_grids``) so callers — the CLI listing, the benchmark
-harness — can pick a substrate by property rather than by name.
+``simulates_large_grids``, ``wire_transport``) so callers — the CLI listing,
+the benchmark harness — can pick a substrate by property rather than by
+name.
 
-Third-party backends (MPI, ...) plug in through :func:`register_backend`;
-everything downstream selects a backend by name (``NMFConfig.backend``,
+Third-party backends plug in through :func:`register_backend`; everything
+downstream selects a backend by name (``NMFConfig.backend``,
 ``fit(..., backend=...)``, the CLI's ``--backend`` flag).
 """
 
@@ -176,6 +183,7 @@ CAPABILITY_FLAGS: Tuple[str, ...] = (
     "parallel_python",         # ranks run Python bytecode concurrently (no GIL convoy)
     "cross_process",           # ranks live in separate OS processes
     "simulates_large_grids",   # hundreds of ranks are practical on one machine
+    "wire_transport",          # collectives serialize onto a real byte stream
 )
 
 
@@ -195,6 +203,7 @@ class Backend(abc.ABC):
     parallel_python = False
     cross_process = False
     simulates_large_grids = False
+    wire_transport = False
 
     @classmethod
     def capabilities(cls) -> Dict[str, bool]:
@@ -243,6 +252,13 @@ class Backend(abc.ABC):
 
 _REGISTRY: Dict[str, Type[Backend]] = {}
 
+#: Backends that exist but cannot run here (missing optional dependency),
+#: mapped to a human-readable reason.  Resolving such a name raises the
+#: reason instead of the generic "unknown backend" error, and the name is
+#: excluded from :func:`available_backends` — mirroring how the kernels
+#: registry treats the numba kernels when numba is absent.
+_UNAVAILABLE: Dict[str, str] = {}
+
 
 def register_backend(name: str, cls: Type[Backend]) -> None:
     """Register a backend class under ``name`` (overwrites any previous entry)."""
@@ -250,7 +266,19 @@ def register_backend(name: str, cls: Type[Backend]) -> None:
         raise CommunicatorError(f"backend name must be a non-empty string, got {name!r}")
     if not (isinstance(cls, type) and issubclass(cls, Backend)):
         raise CommunicatorError(f"backend class must subclass Backend, got {cls!r}")
+    _UNAVAILABLE.pop(name, None)
     _REGISTRY[name] = cls
+
+
+def register_unavailable_backend(name: str, reason: str) -> None:
+    """Declare that backend ``name`` exists but cannot run in this environment.
+
+    ``reason`` should tell the user what to install or change; it becomes the
+    error message when the name is selected.  A later successful
+    :func:`register_backend` for the same name clears the entry.
+    """
+    if name not in _REGISTRY:
+        _UNAVAILABLE[name] = reason
 
 
 def available_backends() -> List[str]:
@@ -272,6 +300,12 @@ def get_backend_class(name: str) -> Type[Backend]:
     try:
         return _REGISTRY[name]
     except KeyError:
+        if name in _UNAVAILABLE:
+            raise CommunicatorError(
+                f"backend {name!r} is not available in this environment: "
+                f"{_UNAVAILABLE[name]} (available backends: "
+                f"{', '.join(sorted(_REGISTRY))})"
+            ) from None
         close = difflib.get_close_matches(str(name), list(_REGISTRY), n=1)
         hint = f"did you mean {close[0]!r}? " if close else ""
         raise CommunicatorError(
@@ -318,5 +352,7 @@ def _ensure_builtin_backends() -> None:
     """Import the built-in backend modules so they self-register."""
     # Deferred so `import repro.comm.backends.base` alone stays cycle-free.
     import repro.comm.backends.lockstep  # noqa: F401
+    import repro.comm.backends.mpi  # noqa: F401
     import repro.comm.backends.process  # noqa: F401
+    import repro.comm.backends.socket  # noqa: F401
     import repro.comm.backends.thread  # noqa: F401

@@ -831,12 +831,31 @@ class Comm:
                 self._state.registry[reg_key] = sub_state
         # Make sure every rank observed its sub-state before anyone proceeds.
         self.barrier()
-        return Comm(
+        return self._make_comm(
             state=sub_state,
             rank=new_rank,
             group_ranks=group_world_ranks,
             parent=self,
         )
+
+    def _make_comm(
+        self,
+        state: SharedGroupState,
+        rank: int,
+        group_ranks: Tuple[int, ...],
+        parent: "Comm",
+    ) -> "Comm":
+        """Construct the communicator :meth:`split` returns (subclass hook).
+
+        Wire communicators (the socket backend's :class:`SocketComm`)
+        override this so the row/column sub-communicators of the process
+        grid — and the silent shadow communicators of the nonblocking
+        helpers — keep the wire collectives rather than degrading to the
+        slot-based base class.  Not simply ``type(self)`` because subclasses
+        with different constructor signatures (:class:`SelfComm`) must not
+        be re-instantiated blindly.
+        """
+        return Comm(state=state, rank=rank, group_ranks=group_ranks, parent=parent)
 
     def dup(self) -> "Comm":
         """Return a communicator over the same group with fresh shared state."""

@@ -1,0 +1,165 @@
+"""Length-prefixed frame codec for the wire backends (:mod:`repro.comm.backends.socket`).
+
+A *frame* is the unit in which the socket backend moves one keyed payload —
+a barrier token, a point-to-point message, an abort notice — between two
+rank processes over a TCP stream.  The layout is designed so array payloads
+(the per-iteration collectives' traffic) cross the wire as raw bytes with a
+tiny pickled header, while arbitrary Python payloads (the ``split``
+metadata, exception notices) fall back to pickling:
+
+.. code-block:: text
+
+    +----------------+----------------+-----------------+-----------------+
+    | header_len u32 | payload_len u64| header (pickle) | payload (bytes) |
+    +----------------+----------------+-----------------+-----------------+
+      little-endian     little-endian
+
+    header  := (key, kind, dtype_str, shape)
+    payload := raw C-order array bytes     (kind == KIND_ARRAY)
+             | pickle bytes                (kind == KIND_OBJECT)
+
+``key`` is any picklable routing key (the backend uses tuples such as
+``("bar", uid, epoch, round, src)`` and ``("msg", uid, src)``); ``dtype_str``
+and ``shape`` are ``None`` for object payloads.  Arrays with object or
+structured dtypes take the pickle path — raw bytes would not round-trip
+them.  Decoding always returns a fresh *writable* array, never a view of the
+receive buffer.
+
+The codec is pure (bytes in, bytes out) so it is unit-testable without any
+sockets; :func:`read_frame` layers it over any ``read_exact(n) -> bytes``
+callable, which the backend binds to a blocking socket and the tests bind to
+an in-memory buffer.
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+from typing import Any, Callable, Tuple
+
+import numpy as np
+
+from repro.util.errors import CommunicatorError
+
+#: Frame preamble: u32 header length, u64 payload length (little-endian).
+PREAMBLE = struct.Struct("<IQ")
+
+#: Payload kinds carried in the pickled header.
+KIND_ARRAY = 1
+KIND_OBJECT = 2
+
+#: Refuse to decode frames claiming more than this many payload bytes — a
+#: corrupted or adversarial length prefix must not drive a multi-gigabyte
+#: allocation before the stream is even read.
+MAX_FRAME_BYTES = 1 << 34  # 16 GiB
+
+
+def _is_raw_array(payload: Any) -> bool:
+    """Whether ``payload`` can cross the wire as raw bytes + (dtype, shape)."""
+    return (
+        isinstance(payload, np.ndarray)
+        and not payload.dtype.hasobject
+        and payload.dtype.names is None
+    )
+
+
+def encode_frame(key: Any, payload: Any) -> bytes:
+    """Serialize one ``(key, payload)`` into a self-delimiting frame."""
+    if _is_raw_array(payload):
+        arr = np.ascontiguousarray(payload)
+        header = pickle.dumps(
+            (key, KIND_ARRAY, arr.dtype.str, arr.shape),
+            protocol=pickle.HIGHEST_PROTOCOL,
+        )
+        body = arr.tobytes()  # C-order raw bytes; empty arrays give b""
+    else:
+        header = pickle.dumps(
+            (key, KIND_OBJECT, None, None), protocol=pickle.HIGHEST_PROTOCOL
+        )
+        body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    return PREAMBLE.pack(len(header), len(body)) + header + body
+
+
+def _decode_body(header: bytes, body: bytes) -> Tuple[Any, Any]:
+    try:
+        key, kind, dtype_str, shape = pickle.loads(header)
+    except Exception as exc:
+        raise CommunicatorError(f"undecodable wire-frame header: {exc}") from exc
+    if kind == KIND_ARRAY:
+        dtype = np.dtype(dtype_str)
+        expected = int(np.prod(shape, dtype=np.int64)) * dtype.itemsize
+        if expected != len(body):
+            raise CommunicatorError(
+                f"wire-frame array payload carries {len(body)} bytes but its "
+                f"header declares dtype {dtype_str} shape {tuple(shape)} "
+                f"({expected} bytes)"
+            )
+        # Fresh writable array: the receive buffer is reused by the reader,
+        # and collective bodies may combine into received arrays in place.
+        arr = np.empty(shape, dtype=dtype)
+        if arr.size:
+            arr.view(np.uint8).reshape(-1)[:] = np.frombuffer(body, dtype=np.uint8)
+        return key, arr
+    if kind == KIND_OBJECT:
+        return key, pickle.loads(body)
+    raise CommunicatorError(f"unknown wire-frame payload kind {kind!r}")
+
+
+def decode_frame(buf: bytes) -> Tuple[Any, Any]:
+    """Decode one complete frame from ``buf`` (must contain exactly one frame)."""
+    if len(buf) < PREAMBLE.size:
+        raise CommunicatorError(
+            f"truncated wire frame: {len(buf)} bytes, preamble needs {PREAMBLE.size}"
+        )
+    header_len, payload_len = PREAMBLE.unpack_from(buf, 0)
+    if payload_len > MAX_FRAME_BYTES:
+        raise CommunicatorError(
+            f"wire frame declares {payload_len} payload bytes, over the "
+            f"{MAX_FRAME_BYTES}-byte limit (corrupted stream?)"
+        )
+    end = PREAMBLE.size + header_len + payload_len
+    if len(buf) != end:
+        raise CommunicatorError(
+            f"wire frame length mismatch: buffer holds {len(buf)} bytes, "
+            f"frame declares {end}"
+        )
+    header = buf[PREAMBLE.size:PREAMBLE.size + header_len]
+    body = buf[PREAMBLE.size + header_len:end]
+    return _decode_body(header, body)
+
+
+def read_frame(read_exact: Callable[[int], bytes]) -> Tuple[Any, Any]:
+    """Read and decode one frame through ``read_exact(n) -> n bytes``.
+
+    ``read_exact`` must either return exactly ``n`` bytes or raise; the
+    socket backend binds it to a blocking connection via :func:`recv_exact`.
+    """
+    preamble = read_exact(PREAMBLE.size)
+    header_len, payload_len = PREAMBLE.unpack(preamble)
+    if payload_len > MAX_FRAME_BYTES:
+        raise CommunicatorError(
+            f"wire frame declares {payload_len} payload bytes, over the "
+            f"{MAX_FRAME_BYTES}-byte limit (corrupted stream?)"
+        )
+    header = read_exact(header_len)
+    body = read_exact(payload_len) if payload_len else b""
+    return _decode_body(header, body)
+
+
+def recv_exact(sock, n: int) -> bytes:
+    """Receive exactly ``n`` bytes from a (blocking) socket.
+
+    Raises :class:`ConnectionError` on EOF mid-frame — the reader thread
+    turns that into an abort naming the dead peer.
+    """
+    if n == 0:
+        return b""
+    chunks = bytearray()
+    while len(chunks) < n:
+        chunk = sock.recv(min(n - len(chunks), 1 << 20))
+        if not chunk:
+            raise ConnectionError(
+                f"connection closed after {len(chunks)} of {n} expected bytes"
+            )
+        chunks += chunk
+    return bytes(chunks)

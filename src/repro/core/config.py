@@ -102,6 +102,13 @@ class NMFConfig:
         two against each other (``dense:process_panel_vs_pipelined``).  Only
         meaningful when ``overlap`` is on; all schedules stay byte-identical
         in factors and cost ledgers.  The CLI flag is ``--no-panel-comm``.
+    storage:
+        Where each rank's local block of ``A`` lives (HPC-NMF's 2D layout):
+        ``"memory"`` (default) keeps it resident, ``"memmap"`` rehomes dense
+        blocks onto ``np.memmap``-backed temporary files so webbase-scale
+        matrices stream block-by-block through the never-materialize-``A``
+        path (see :mod:`repro.dist.storage`; a no-op for sparse blocks).
+        Byte-identical factors either way.  The CLI flag is ``--storage``.
     """
 
     k: int
@@ -118,6 +125,7 @@ class NMFConfig:
     kernel: str = "scalar"
     overlap: bool = True
     panel_comm: bool = True
+    storage: str = "memory"
 
     def __post_init__(self):
         if self.k < 1:
@@ -148,6 +156,9 @@ class NMFConfig:
                 f"panel_comm must be a bool (panel-streamed vs monolithic "
                 f"reduce-scatters), got {self.panel_comm!r}"
             )
+        from repro.dist.storage import validate_storage
+
+        validate_storage(self.storage)
         # Normalise the algorithm field so strings are accepted.
         object.__setattr__(self, "algorithm", Algorithm(self.algorithm))
 

@@ -124,9 +124,11 @@ def hpc_nmf(
 
     grid = ProcessGrid(comm, pr, pc)
     if A is not None:
-        data = DistMatrix2D.from_global(grid, A)
+        data = DistMatrix2D.from_global(grid, A, storage=config.storage)
     else:
-        data = DistMatrix2D.from_block_generator(grid, (m, n), block_generator)
+        data = DistMatrix2D.from_block_generator(
+            grid, (m, n), block_generator, storage=config.storage
+        )
 
     # Factor sub-blocks (Figure 2).  H is seeded identically to the sequential
     # reference; W starts empty (the first half-iteration computes it).

@@ -34,6 +34,7 @@ from typing import Callable, Tuple
 import numpy as np
 
 from repro.dist.partition import block_range
+from repro.dist.storage import materialize_block
 from repro.util.errors import PartitionError, ShapeError
 from repro.util.validation import is_sparse
 
@@ -104,12 +105,15 @@ class DistMatrix2D:
         return block_range(m, grid.pr, i), block_range(n, grid.pc, j)
 
     @classmethod
-    def from_global(cls, grid, A) -> "DistMatrix2D":
+    def from_global(cls, grid, A, storage: str = "memory") -> "DistMatrix2D":
         """Slice this rank's ``A_ij`` out of a globally readable matrix.
 
         Nothing is communicated: in the SPMD model every rank calls this with
         the same ``A`` and keeps only its own block (exactly how an MPI code
-        would read its block from a shared file).
+        would read its block from a shared file).  ``storage`` selects where
+        the local block lives (see :mod:`repro.dist.storage`): ``"memory"``
+        keeps it resident, ``"memmap"`` rehomes dense blocks onto an
+        ``np.memmap``-backed temporary file for out-of-core operation.
         """
         m, n = A.shape
         row_range, col_range = cls.local_ranges(grid, m, n)
@@ -120,6 +124,7 @@ class DistMatrix2D:
             block = A.tocsr()[r0:r1, c0:c1]
         else:
             block = np.ascontiguousarray(np.asarray(A)[r0:r1, c0:c1])
+        block = materialize_block(block, storage)
         return cls(grid, block, row_range, col_range, (m, n))
 
     @classmethod
@@ -128,6 +133,7 @@ class DistMatrix2D:
         grid,
         global_shape: Tuple[int, int],
         generator: Callable,
+        storage: str = "memory",
     ) -> "DistMatrix2D":
         """Build the local block with ``generator(row_range, col_range, rank)``.
 
@@ -135,12 +141,16 @@ class DistMatrix2D:
         ever exist, one per rank.  The generator must return a block of shape
         ``(row_range[1] - row_range[0], col_range[1] - col_range[0])`` (dense
         or sparse); a wrong shape raises :class:`~repro.util.errors.ShapeError`.
+        ``storage="memmap"`` spills the generated dense block to an
+        ``np.memmap``-backed temporary file (see :mod:`repro.dist.storage`),
+        bounding resident memory at webbase scale.
         """
         m, n = int(global_shape[0]), int(global_shape[1])
         if m <= 0 or n <= 0:
             raise PartitionError(f"global shape must be positive, got {m}x{n}")
         row_range, col_range = cls.local_ranges(grid, m, n)
         block = generator(row_range, col_range, grid.rank)
+        block = materialize_block(block, storage)
         return cls(grid, block, row_range, col_range, (m, n))
 
     # -- properties ---------------------------------------------------------

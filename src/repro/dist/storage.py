@@ -1,0 +1,72 @@
+"""Local-block storage modes for :class:`~repro.dist.distmatrix.DistMatrix2D`.
+
+The never-materialize-``A`` design means each rank only ever holds its own
+block ``A_ij`` — but at webbase scale (§5 of the paper) even one block can
+exceed RAM.  ``storage="memmap"`` rehomes a rank's **dense** block onto an
+``np.memmap`` over an anonymous temporary file, so the OS pages block data
+in and out on demand and the resident footprint is bounded by the access
+pattern (the HPC-NMF inner loop streams row/column panels, which is exactly
+the memmap-friendly pattern).
+
+Every consumer downstream — the panel slicing in ``hpc_nmf``, the local
+GEMMs, the Frobenius norm — sees a normal ndarray interface, so the choice
+is invisible to the algorithms: the memmap parity test pins dense Algorithm
+3 byte-identical between the two modes.
+
+Sparse blocks pass through unchanged: CSR's three-array layout would need a
+dedicated on-disk format (one file per array) to stream, which is future
+work; the mode is therefore documented as a no-op for sparse inputs rather
+than an error, so mixed dense/sparse pipelines keep a single flag.
+
+The backing file is unlinked immediately (``tempfile.TemporaryFile``): on
+POSIX the mapping keeps the pages alive until the array is garbage
+collected, and nothing is leaked on crash.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from typing import Tuple
+
+import numpy as np
+
+from repro.util.errors import ShapeError
+from repro.util.validation import is_sparse
+
+#: Storage modes accepted by ``NMFConfig.storage`` / ``--storage``.
+STORAGE_MODES: Tuple[str, ...] = ("memory", "memmap")
+
+
+def validate_storage(storage: str) -> str:
+    """Return ``storage`` if it names a known mode, raise otherwise."""
+    if storage not in STORAGE_MODES:
+        raise ShapeError(
+            f"storage must be one of {', '.join(STORAGE_MODES)} "
+            f"(where local blocks live), got {storage!r}"
+        )
+    return storage
+
+
+def materialize_block(block, storage: str):
+    """Rehome one local block according to ``storage``.
+
+    ``"memory"`` returns the block unchanged.  ``"memmap"`` copies a dense
+    block into an ``np.memmap`` over an unlinked temporary file and returns
+    the map; sparse blocks and empty blocks (zero-size arrays cannot be
+    mmapped) are returned unchanged.
+    """
+    validate_storage(storage)
+    if storage == "memory" or is_sparse(block):
+        return block
+    arr = np.asarray(block)
+    if arr.size == 0:
+        return arr
+    # The mapping holds the pages; unlinking now (TemporaryFile) means no
+    # on-disk residue survives the array, even on a crash, and closing the
+    # descriptor right away avoids fd exhaustion with many blocks — on
+    # POSIX an established mapping outlives its file descriptor.
+    with tempfile.TemporaryFile(prefix="repro-block-") as f:
+        mapped = np.memmap(f, dtype=arr.dtype, mode="w+", shape=arr.shape)
+    mapped[...] = arr
+    mapped.flush()
+    return mapped

@@ -55,6 +55,29 @@ DEFAULT_OVERLAP_EFFICIENCY: Mapping[str, float] = {
     "process": 0.7,
     "thread": 0.3,
     "lockstep": 0.0,
+    # Socket reader threads block in recv (releasing the GIL), so frames
+    # genuinely land while the main thread computes; serialization still
+    # costs some of the window.
+    "socket": 0.6,
+    # The mpi backend completes nonblocking handles eagerly at issue
+    # (helper threads would need MPI_THREAD_MULTIPLE), so nothing hides.
+    "mpi": 0.0,
+}
+
+#: Per-link (alpha seconds, beta seconds-per-word) for backends whose
+#: collectives cross a real wire, used by :meth:`MachineSpec.for_backend` to
+#: price ``repro plan --backend socket|mpi``.  In-process backends have **no**
+#: entry on purpose: they communicate at the machine's own memory constants,
+#: so their pricing stays byte-stable.  The socket defaults describe loopback
+#: TCP through the frame codec (tens-of-microseconds latency, a few GB/s);
+#: the mpi defaults reuse the Edison Aries constants (§6.1.2).
+#: ``MachineSpec.calibrate(rate_links=True)`` replaces the socket entry with
+#: a measured 2-rank ping/stream probe.
+DEFAULT_LINK_COSTS: Mapping[str, tuple] = {
+    "socket": (3.0e-5, 8.0 / 2.0e9),
+    "mpi": (EDISON_NODE["mpi_latency_us"] * 1e-6,
+            8.0 / (EDISON_NODE["injection_bandwidth_gbps"] * 1e9
+                   / EDISON_NODE["cores_per_node"])),
 }
 
 
@@ -84,6 +107,11 @@ class MachineSpec:
     #: Read by :meth:`overlap_fraction`; the planner uses it to split a
     #: predicted breakdown into exposed vs. hidden communication.
     overlap_efficiency: Optional[Mapping[str, float]] = None
+    #: Per-backend wire (alpha, beta) overrides (``None`` =
+    #: :data:`DEFAULT_LINK_COSTS`).  Only wire backends have entries; read by
+    #: :meth:`link_cost` / :meth:`for_backend`, filled by
+    #: ``calibrate(rate_links=True)``.
+    link_costs: Optional[Mapping[str, tuple]] = None
 
     @property
     def name(self) -> str:
@@ -127,6 +155,44 @@ class MachineSpec:
         table = self.overlap_efficiency or DEFAULT_OVERLAP_EFFICIENCY
         return float(min(1.0, max(0.0, table.get(backend, 0.0))))
 
+    def link_cost(self, backend: Optional[str]) -> Optional[tuple]:
+        """The wire ``(alpha, beta)`` of ``backend``, or ``None`` if in-process.
+
+        Backends without an entry (thread/process/lockstep, unknown names,
+        ``None``) communicate at the machine's own network constants.
+        """
+        if backend is None:
+            return None
+        table = self.link_costs or DEFAULT_LINK_COSTS
+        entry = table.get(backend)
+        if entry is None:
+            return None
+        alpha, beta = entry
+        return (float(alpha), float(beta))
+
+    def for_backend(self, backend: Optional[str]) -> "MachineSpec":
+        """A spec whose network term reflects the given backend's wire.
+
+        The planner's counterpart to :meth:`for_kernel`: when ``backend`` has
+        a per-link entry (the socket and mpi wire backends), the returned
+        spec's ``alpha``/``beta`` are swapped for the link's latency and
+        bandwidth (``gamma`` — the compute rate — is untouched) and the name
+        gains a ``+backend`` suffix so plan tables show what was priced.
+        Backends with no entry return ``self`` unchanged, keeping in-process
+        pricing byte-stable.
+        """
+        link = self.link_cost(backend)
+        if link is None:
+            return self
+        alpha, beta = link
+        network = AlphaBetaGamma(
+            alpha=alpha,
+            beta=beta,
+            gamma=self.network.gamma,
+            name=f"{self.network.name}+{backend}",
+        )
+        return self.with_options(network=network)
+
     def for_kernel(self, kernel: Optional[str]) -> "MachineSpec":
         """A spec whose NLS efficiency reflects the given BPP kernel.
 
@@ -156,6 +222,7 @@ class MachineSpec:
         ranks: int = 1,
         rate_kernels: bool = True,
         rate_overlap: bool = False,
+        rate_links: bool = False,
     ) -> "MachineSpec":
         """Micro-benchmark *this* host and return a spec priced to it.
 
@@ -205,6 +272,16 @@ class MachineSpec:
         is opt-in (``repro plan --machine local``, ``fit(...,
         machine=MachineSpec.calibrate())``) so tests and figure regeneration
         stay reproducible.
+
+        With ``rate_links`` the socket wire is additionally measured with a
+        2-rank ping/stream probe on the socket backend (see
+        :func:`_link_probe`): small-message round-trips give the per-frame
+        latency ``alpha``, a streamed 1 MiB payload gives the per-word
+        ``beta``; the measured pair replaces the static
+        :data:`DEFAULT_LINK_COSTS` socket entry in :attr:`link_costs`, so
+        ``repro plan --machine local --backend socket`` prices this host's
+        actual wire.  A failed probe keeps the static defaults (with a
+        :class:`RuntimeWarning`).
         """
         import numpy as np
 
@@ -293,12 +370,35 @@ class MachineSpec:
                     # the fleet-wide hidden fraction is the worst rank's.
                     overlap_efficiency[backend] = min(per_rank)
 
+        link_costs = None
+        if rate_links:
+            from repro.comm.backends import run_spmd
+
+            try:
+                per_rank = run_spmd(
+                    2, _link_probe, repeats,
+                    name="calibrate-link", backend="socket",
+                )
+            except Exception as exc:  # noqa: BLE001 - probe is best-effort
+                import warnings
+
+                warnings.warn(
+                    f"link calibration on the socket backend failed ({exc}); "
+                    "keeping the static DEFAULT_LINK_COSTS entries",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            else:
+                link_costs = dict(DEFAULT_LINK_COSTS)
+                link_costs["socket"] = per_rank[0]
+
         network = AlphaBetaGamma(alpha=1.0e-7, beta=beta, gamma=gamma, name=name)
         return cls(
             network=network,
             dense_mm_efficiency=1.0,
             kernel_speedups=kernel_speedups,
             overlap_efficiency=overlap_efficiency,
+            link_costs=link_costs,
         )
 
 
@@ -380,6 +480,50 @@ def _overlap_probe(comm, size: int, repeats: int, seed: int) -> float:
     if t_comm <= 0.0:
         return 0.0
     return float(min(1.0, max(0.0, (t_block - t_pipe) / t_comm)))
+
+
+def _link_probe(comm, repeats: int):
+    """2-rank ping/stream probe measuring the socket wire's ``(alpha, beta)``.
+
+    Rank 0 measures and returns the pair; rank 1 echoes and returns ``None``.
+
+    * *Ping*: ``n_pings`` round-trips of a 1-word message, best-of-``repeats``;
+      half the per-message round-trip is the frame latency ``alpha``
+      (connect, frame encode/decode, kernel crossing).
+    * *Stream*: a 1 MiB array one way plus a 1-word ack, best-of-``repeats``;
+      the time beyond one round-trip divided by the word count is ``beta``.
+    """
+    import numpy as np
+
+    small = np.zeros(1)
+    big = np.zeros(131072)  # 1 MiB of float64
+    n_pings = 20
+    comm.barrier()
+    if comm.rank == 0:
+        def ping():
+            for _ in range(n_pings):
+                comm.send(small, dest=1, tag=1)
+                comm.recv(source=1, tag=2)
+
+        def stream():
+            comm.send(big, dest=1, tag=3)
+            comm.recv(source=1, tag=4)
+
+        ping()  # warm-up: buffers, reader-thread scheduling
+        rtt = min(_timed(ping) for _ in range(repeats)) / n_pings
+        stream()  # warm-up
+        t_stream = min(_timed(stream) for _ in range(repeats))
+        alpha = rtt / 2.0
+        beta = max(t_stream - rtt, 1e-12) / big.size
+        return (float(alpha), float(beta))
+    for _ in range(repeats + 1):
+        for _ in range(n_pings):
+            comm.recv(source=0, tag=1)
+            comm.send(small, dest=0, tag=2)
+    for _ in range(repeats + 1):
+        comm.recv(source=0, tag=3)
+        comm.send(small, dest=0, tag=4)
+    return None
 
 
 def _timed(fn) -> float:

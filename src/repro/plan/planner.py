@@ -191,6 +191,13 @@ def plan_candidates(
         then threaded through the cost hooks via
         :meth:`MachineSpec.for_kernel`.  ``None`` keeps default (scalar)
         pricing.
+    backend:
+        Execution backend the plans will run on.  Enables the pipelined
+        twins (scored with the backend's overlap efficiency) and, for the
+        wire backends (``'socket'``/``'mpi'``), reprices every collective
+        at the link's alpha-beta costs via :meth:`MachineSpec.for_backend`
+        — ``repro plan --backend socket`` therefore prices wire plans.
+        In-process backends keep the machine's own network constants.
     """
     from repro.core.variants import get_variant
     from repro.perf.machine import edison_machine
@@ -206,6 +213,9 @@ def plan_candidates(
 
         kernel = resolve_kernel(kernel)  # normalizes 'auto', rejects typos
         machine = machine.for_kernel(kernel)
+    # Wire backends (socket/mpi) swap the network alpha/beta for the link's
+    # measured/default costs; in-process backends return machine unchanged.
+    machine = machine.for_backend(backend)
 
     plans: List[ExecutionPlan] = []
     for name in _candidate_variant_names(variants):

@@ -30,7 +30,7 @@ class TestRegistry:
 
     def test_unknown_backend_error_lists_available(self):
         with pytest.raises(CommunicatorError, match="lockstep.*thread"):
-            get_backend_class("mpi")
+            get_backend_class("carrier-pigeon")
 
     def test_make_backend_from_name_class_and_instance(self):
         assert isinstance(make_backend("lockstep", 3), LockstepBackend)

@@ -1,0 +1,204 @@
+"""The socket SPMD backend: the same collectives over a real TCP wire.
+
+The contract under test: one process per rank, persistent length-prefixed
+TCP connections, and the identical ``Comm`` surface the in-process backends
+run — identical collective results (including post-fork ``split``
+sub-communicators and the nonblocking ``CommHandle`` path), configurable
+timeouts that raise :class:`CommunicatorError` naming the unresponsive peer,
+and fault containment: a rank killed mid-collective must not hang the
+survivors, and the error they see must name the dead peer.
+"""
+
+import os
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.comm.backends import (
+    Backend,
+    available_backends,
+    backend_capabilities,
+    get_backend_class,
+    run_spmd,
+)
+from repro.comm.backends.socket import SocketBackend, _WireSlots
+from repro.util.errors import CommunicatorError
+
+
+@pytest.fixture(autouse=True)
+def _silence_oversubscription():
+    # This suite deliberately runs more ranks than the host may have CPUs;
+    # the warning itself is asserted in tests/comm/test_process_backend.py.
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        yield
+
+
+def _collective_program(comm):
+    local = np.arange(3.0) + 10 * comm.rank
+    total = comm.allreduce(local)
+    gathered = comm.allgatherv(np.array([float(comm.rank)]))
+    piece = comm.reduce_scatter(np.arange(comm.size, dtype=float))
+    sub = comm.split(color=comm.rank % 2)
+    subsum = sub.allreduce_scalar(comm.rank)
+    reused = comm.workspace.get("acc", (3,))
+    comm.allreduce(local, out=reused)
+    return total.tolist(), gathered.tolist(), piece.tolist(), subsum, reused.tolist()
+
+
+def _nonblocking_program(comm):
+    """The pipelined loops' exact pattern: issue, overlap, wait."""
+    handle = comm.iallreduce(np.arange(4.0) + comm.rank)
+    local = float(np.sum(np.arange(10.0) * comm.rank))  # overlapped compute
+    total = handle.wait()
+    gather = comm.iallgatherv(np.full(2, float(comm.rank)))
+    scatter = comm.ireduce_scatter(np.arange(2.0 * comm.size))
+    return total.tolist(), local, gather.wait().tolist(), scatter.wait().tolist()
+
+
+class TestRegistry:
+    def test_socket_backend_is_registered(self):
+        assert "socket" in available_backends()
+        assert get_backend_class("socket") is SocketBackend
+        assert issubclass(SocketBackend, Backend)
+
+    def test_capability_flags(self):
+        caps = backend_capabilities()
+        assert caps["socket"]["wire_transport"] is True
+        assert caps["socket"]["parallel_python"] is True
+        assert caps["socket"]["cross_process"] is True
+        # The in-process substrates never serialize onto a byte stream.
+        assert caps["thread"]["wire_transport"] is False
+        assert caps["process"]["wire_transport"] is False
+        assert caps["lockstep"]["wire_transport"] is False
+
+    def test_wire_slots_refuse_shared_memory_semantics(self):
+        slots = _WireSlots(4)
+        assert len(slots) == 4
+        with pytest.raises(CommunicatorError, match="no shared deposit slots"):
+            slots[0]
+        with pytest.raises(CommunicatorError, match="no shared deposit slots"):
+            slots[1] = object()
+
+
+class TestSocketBackend:
+    @pytest.mark.parametrize("p", [1, 2, 3, 4])
+    def test_matches_thread_backend(self, p):
+        """Collectives (incl. non-power-of-two groups and post-fork splits)
+        produce the same values over TCP as over shared memory."""
+        via_socket = run_spmd(p, _collective_program, backend="socket")
+        via_thread = run_spmd(p, _collective_program, backend="thread")
+        assert via_socket == via_thread
+
+    @pytest.mark.parametrize("p", [2, 3])
+    def test_nonblocking_handles_match_thread_backend(self, p):
+        """The CommHandle path (iallreduce/iallgatherv/ireduce_scatter) must
+        work unchanged over the wire — the pipelined schedules depend on it."""
+        via_socket = run_spmd(p, _nonblocking_program, backend="socket")
+        via_thread = run_spmd(p, _nonblocking_program, backend="thread")
+        assert via_socket == via_thread
+
+    def test_point_to_point_ring(self):
+        def program(comm):
+            right = (comm.rank + 1) % comm.size
+            left = (comm.rank - 1) % comm.size
+            return comm.sendrecv(comm.rank, dest=right, source=left)
+
+        assert run_spmd(4, program, backend="socket") == [3, 0, 1, 2]
+
+    def test_object_payloads_cross_the_wire(self):
+        def program(comm):
+            meta = comm.allgather_object({"rank": comm.rank, "tag": "x" * comm.rank})
+            broadcast = comm.bcast({"from": comm.rank} if comm.rank == 1 else None,
+                                   root=1)
+            return [m["rank"] for m in meta], broadcast["from"]
+
+        assert run_spmd(3, program, backend="socket") == [([0, 1, 2], 1)] * 3
+
+    def test_large_array_crosses_in_one_frame(self):
+        def program(comm):
+            big = np.full(300_000, float(comm.rank + 1))  # 2.4 MB per frame
+            return float(comm.allreduce(big)[0])
+
+        assert run_spmd(3, program, backend="socket") == [6.0, 6.0, 6.0]
+
+    def test_exception_propagates_with_real_failure_preferred(self):
+        def program(comm):
+            comm.barrier()
+            if comm.rank == 1:
+                raise ValueError("rank 1 exploded")
+            comm.barrier()
+
+        with pytest.raises(ValueError, match="rank 1 exploded"):
+            run_spmd(3, program, backend="socket")
+
+    def test_recv_timeout_raises_naming_the_silent_peer(self):
+        def program(comm):
+            if comm.rank == 1:
+                # Nobody ever sends: must time out, not hang, and the error
+                # must say who rank 1 was waiting for.
+                comm.recv(source=0, tag=7, timeout=0.3)
+            return True
+
+        with pytest.raises(CommunicatorError, match="timed out") as excinfo:
+            run_spmd(2, program, backend="socket")
+        assert "rank 0" in str(excinfo.value)
+
+    def test_dead_rank_is_detected_and_named(self):
+        """A rank killed mid-collective must not hang its peers, and the
+        reported failure must name the dead rank and its exit code."""
+
+        def program(comm):
+            if comm.rank == 2:
+                os._exit(3)
+            comm.allreduce(np.ones(4))
+            return True
+
+        with pytest.raises(CommunicatorError, match="rank 2") as excinfo:
+            run_spmd(4, program, backend="socket")
+        assert "exit code 3" in str(excinfo.value)
+
+    def test_survivors_see_an_abort_naming_the_dead_peer(self):
+        """Fault injection from the survivor's seat: the CommunicatorError a
+        blocked rank gets when a peer dies mid-collective must name that
+        peer, not just say the collective failed."""
+
+        def program(comm):
+            if comm.rank == 2:
+                os._exit(9)
+            try:
+                comm.allreduce(np.ones(8))
+            except CommunicatorError as exc:
+                # Re-raise as a non-communicator error so raise_first_failure
+                # prefers it over the parent's died-without-reporting record
+                # and the survivor-side message becomes assertable here.
+                raise RuntimeError(f"survivor saw: {exc}") from exc
+            return "collective unexpectedly succeeded"
+
+        with pytest.raises(RuntimeError, match="survivor saw:") as excinfo:
+            run_spmd(4, program, backend="socket")
+        assert "rank 2" in str(excinfo.value)
+
+    def test_timeouts_are_configurable(self):
+        backend = SocketBackend(2, timeout=5.0, connect_timeout=2.5)
+        assert backend.timeout == 5.0
+        assert backend.connect_timeout == 2.5
+        assert backend.run(lambda comm: comm.allreduce_scalar(1.0)) == [2.0, 2.0]
+
+    def test_single_rank_runs_inline(self):
+        backend = SocketBackend(1)
+        assert backend.run(lambda comm: (os.getpid(), comm.size)) == [(os.getpid(), 1)]
+
+    def test_grid_split_over_the_wire(self):
+        """Row/column sub-communicators (the 2D grid's backbone) work after
+        the world group was wired up: split must build fresh mailboxes."""
+
+        def program(comm):
+            row = comm.split(color=comm.rank // 2)
+            col = comm.split(color=comm.rank % 2)
+            return row.allreduce_scalar(comm.rank), col.allreduce_scalar(comm.rank)
+
+        assert run_spmd(4, program, backend="socket") == [
+            (1.0, 2.0), (1.0, 4.0), (5.0, 2.0), (5.0, 4.0),
+        ]

@@ -1,0 +1,219 @@
+"""The wire-frame codec: every payload must round-trip bit-exactly.
+
+The socket backend's byte-identity guarantee rests on this codec — a frame
+that perturbs a single array byte would silently break cross-backend parity.
+The codec is pure (bytes in, bytes out), so these tests exercise it without
+any sockets: hypothesis drives arbitrary keys, dtypes and shapes through
+``encode_frame``/``decode_frame``, and :func:`read_frame` is layered over an
+in-memory stream the way the backend layers it over a blocking connection.
+"""
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.comm.wire import (
+    KIND_OBJECT,
+    MAX_FRAME_BYTES,
+    PREAMBLE,
+    decode_frame,
+    encode_frame,
+    read_frame,
+    recv_exact,
+)
+from repro.util.errors import CommunicatorError
+
+RAW_DTYPES = ["<f8", "<f4", "<i8", "<i4", "<u2", "|b1", "<c16"]
+
+keys = st.one_of(
+    st.integers(),
+    st.text(max_size=8),
+    st.tuples(st.text(max_size=4), st.integers(0, 99), st.integers(0, 99)),
+)
+
+
+def _stream_reader(frames: bytes):
+    """Bind read_frame to an in-memory byte stream, as the backend binds it
+    to a blocking socket."""
+    stream = io.BytesIO(frames)
+
+    def read_exact(n: int) -> bytes:
+        data = stream.read(n)
+        if len(data) != n:
+            raise ConnectionError(f"stream ended after {len(data)} of {n} bytes")
+        return data
+
+    return read_exact
+
+
+class TestArrayRoundTrip:
+    @given(
+        key=keys,
+        dtype=st.sampled_from(RAW_DTYPES),
+        shape=st.one_of(
+            st.tuples(st.integers(0, 7)),
+            st.tuples(st.integers(0, 5), st.integers(0, 4)),
+            st.tuples(st.integers(1, 3), st.integers(1, 3), st.integers(1, 3)),
+        ),
+        seed=st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_arbitrary_arrays_round_trip_bit_exactly(self, key, dtype, shape, seed):
+        rng = np.random.default_rng(seed)
+        arr = rng.standard_normal(shape).astype(np.dtype(dtype), copy=False)
+        out_key, out = decode_frame(encode_frame(key, arr))
+        assert out_key == key
+        assert out.dtype == arr.dtype
+        assert out.shape == arr.shape
+        assert out.tobytes() == arr.tobytes()  # bit-exact, incl. NaN patterns
+
+    def test_decoded_array_is_fresh_and_writable(self):
+        arr = np.arange(6.0).reshape(2, 3)
+        _, out = decode_frame(encode_frame("k", arr))
+        out += 1.0  # collectives combine into received arrays in place
+        assert out.flags.writeable and out.flags.c_contiguous
+
+    def test_noncontiguous_input_is_canonicalized(self):
+        arr = np.arange(24.0).reshape(4, 6)[::2, ::3]
+        _, out = decode_frame(encode_frame("k", arr))
+        np.testing.assert_array_equal(out, arr)
+
+    def test_nan_and_inf_survive(self):
+        arr = np.array([np.nan, np.inf, -np.inf, -0.0])
+        _, out = decode_frame(encode_frame("k", arr))
+        assert out.tobytes() == arr.tobytes()
+
+
+class TestObjectRoundTrip:
+    @given(
+        key=keys,
+        payload=st.recursive(
+            st.none() | st.booleans() | st.integers() | st.text(max_size=12),
+            lambda inner: st.lists(inner, max_size=4)
+            | st.dictionaries(st.text(max_size=4), inner, max_size=4),
+            max_leaves=12,
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_arbitrary_objects_round_trip(self, key, payload):
+        assert decode_frame(encode_frame(key, payload)) == (key, payload)
+
+    def test_object_dtype_arrays_take_the_pickle_path(self):
+        arr = np.array([{"a": 1}, None], dtype=object)
+        _, out = decode_frame(encode_frame("k", arr))
+        assert isinstance(out, np.ndarray) and out.dtype == object
+        assert out[0] == {"a": 1} and out[1] is None
+
+    def test_structured_dtype_arrays_take_the_pickle_path(self):
+        arr = np.array([(1, 2.0)], dtype=[("a", "<i4"), ("b", "<f8")])
+        _, out = decode_frame(encode_frame("k", arr))
+        assert out.dtype.names == ("a", "b")
+        assert out.tobytes() == arr.tobytes()
+
+
+class TestMalformedFrames:
+    def test_truncated_preamble(self):
+        with pytest.raises(CommunicatorError, match="truncated"):
+            decode_frame(b"\x01\x02")
+
+    def test_truncated_payload(self):
+        frame = encode_frame("k", np.arange(4.0))
+        with pytest.raises(CommunicatorError, match="length mismatch"):
+            decode_frame(frame[:-3])
+
+    def test_trailing_garbage(self):
+        frame = encode_frame("k", np.arange(4.0))
+        with pytest.raises(CommunicatorError, match="length mismatch"):
+            decode_frame(frame + b"xx")
+
+    def test_oversized_length_prefix_is_refused_before_allocation(self):
+        buf = PREAMBLE.pack(4, MAX_FRAME_BYTES + 1) + b"head"
+        with pytest.raises(CommunicatorError, match="over the"):
+            decode_frame(buf)
+        with pytest.raises(CommunicatorError, match="over the"):
+            read_frame(_stream_reader(buf))
+
+    def test_corrupted_header_is_a_communicator_error(self):
+        frame = bytearray(encode_frame("k", [1, 2, 3]))
+        header_len, _ = PREAMBLE.unpack_from(bytes(frame), 0)
+        for i in range(PREAMBLE.size, PREAMBLE.size + header_len):
+            frame[i] ^= 0xFF
+        with pytest.raises(CommunicatorError, match="header"):
+            decode_frame(bytes(frame))
+
+    def test_array_payload_shorter_than_header_declares(self):
+        import pickle
+
+        from repro.comm.wire import KIND_ARRAY
+
+        header = pickle.dumps(("k", KIND_ARRAY, "<f8", (4,)))
+        body = b"\x00" * 16  # header says 32
+        buf = PREAMBLE.pack(len(header), len(body)) + header + body
+        with pytest.raises(CommunicatorError, match="declares"):
+            decode_frame(buf)
+
+    def test_unknown_kind_is_refused(self):
+        import pickle
+
+        header = pickle.dumps(("k", 99, None, None))
+        body = pickle.dumps("x")
+        buf = PREAMBLE.pack(len(header), len(body)) + header + body
+        with pytest.raises(CommunicatorError, match="unknown wire-frame"):
+            decode_frame(buf)
+
+
+class TestStreaming:
+    @given(
+        payloads=st.lists(
+            st.one_of(st.integers(), st.text(max_size=6)), min_size=1, max_size=6
+        )
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_back_to_back_frames_demux_in_order(self, payloads):
+        stream = b"".join(
+            encode_frame(("msg", i), p) for i, p in enumerate(payloads)
+        )
+        read_exact = _stream_reader(stream)
+        for i, expected in enumerate(payloads):
+            assert read_frame(read_exact) == (("msg", i), expected)
+
+    def test_read_frame_raises_on_mid_frame_eof(self):
+        frame = encode_frame("k", np.arange(128.0))
+        with pytest.raises(ConnectionError, match="ended after"):
+            read_frame(_stream_reader(frame[: len(frame) // 2]))
+
+    def test_empty_object_frame_has_no_payload_read(self):
+        # KIND_OBJECT with an empty tuple still round-trips through read_frame.
+        key, out = read_frame(_stream_reader(encode_frame("k", ())))
+        assert (key, out) == ("k", ())
+        assert KIND_OBJECT == 2  # layout constant is part of the wire contract
+
+    def test_recv_exact_reassembles_fragmented_stream(self):
+        class Chunky:
+            """A socket that returns one byte per recv call."""
+
+            def __init__(self, data):
+                self.data, self.pos = data, 0
+
+            def recv(self, n):
+                if self.pos >= len(self.data):
+                    return b""
+                chunk = self.data[self.pos:self.pos + 1]
+                self.pos += 1
+                return chunk
+
+        frame = encode_frame("k", np.arange(5.0))
+        sock = Chunky(frame)
+        assert recv_exact(sock, len(frame)) == frame
+        with pytest.raises(ConnectionError, match="connection closed"):
+            recv_exact(sock, 1)
+
+    def test_recv_exact_zero_bytes_reads_nothing(self):
+        class Exploding:
+            def recv(self, n):  # pragma: no cover - must never be called
+                raise AssertionError("recv_exact(0) must not touch the socket")
+
+        assert recv_exact(Exploding(), 0) == b""

@@ -37,7 +37,7 @@ def _sparse():
     return sp.random(32, 24, density=0.2, random_state=5, format="csr")
 
 
-@pytest.mark.parametrize("other_backend", ["lockstep", "process"])
+@pytest.mark.parametrize("other_backend", ["lockstep", "process", "socket"])
 @pytest.mark.parametrize("algorithm", ["naive", "hpc1d", "hpc2d"])
 @pytest.mark.parametrize("kind", ["dense", "sparse"])
 def test_backends_produce_identical_factors(algorithm, kind, other_backend):
@@ -77,7 +77,7 @@ def test_unknown_backend_raises_helpful_error():
     from repro.util.errors import CommunicatorError
 
     with pytest.raises(CommunicatorError, match="unknown backend"):
-        parallel_nmf(_dense(), 3, n_ranks=2, backend="mpi", max_iters=2)
+        parallel_nmf(_dense(), 3, n_ranks=2, backend="carrier-pigeon", max_iters=2)
 
 
 def test_fit_rejects_unknown_backend_eagerly_with_suggestions():
@@ -103,6 +103,51 @@ def test_cli_rejects_unknown_backend_with_choice_list(capsys):
     err = capsys.readouterr().err
     for name in ("lockstep", "process", "thread"):
         assert name in err
+
+
+def test_ssyn_acceptance_socket_matches_process_byte_for_byte():
+    """The PR's wire acceptance pin: `repro factorize SSYN -k 4 --variant
+    hpc2d --ranks 4 --backend socket` must produce exactly the bytes the
+    process backend produces — TCP framing is transport, not arithmetic."""
+    from repro.core.api import fit
+    from repro.data.registry import measured_scale
+
+    A = measured_scale("SSYN").load()
+    kwargs = dict(variant="hpc2d", n_ranks=4, max_iters=3, seed=42)
+    via_socket = fit(A, 4, backend="socket", **kwargs)
+    via_process = fit(A, 4, backend="process", **kwargs)
+    assert via_socket.W.tobytes() == via_process.W.tobytes()
+    assert via_socket.H.tobytes() == via_process.H.tobytes()
+    assert via_socket.grid_shape == via_process.grid_shape
+
+
+@pytest.mark.parametrize("panel_comm", [False, True])
+def test_pipelined_schedules_stay_byte_identical_over_the_wire(panel_comm):
+    """The nonblocking CommHandle path must work unchanged over TCP: the
+    pipelined (and panel-streamed) schedules give the same bytes on the
+    socket backend as the blocking schedule on the thread backend."""
+    from repro.core.api import fit
+
+    A = _dense()
+    kwargs = dict(variant="hpc2d", n_ranks=4, max_iters=4, seed=9)
+    blocking = fit(A, 3, backend="thread", overlap=False, **kwargs)
+    wired = fit(A, 3, backend="socket", overlap=True, panel_comm=panel_comm,
+                **kwargs)
+    assert blocking.W.tobytes() == wired.W.tobytes()
+    assert blocking.H.tobytes() == wired.H.tobytes()
+
+
+def test_socket_backend_observer_state_comes_home():
+    """Observers must come home over the wire too (rank 0's state is shipped
+    back pickled), matching the process backend's contract."""
+    from repro.core.api import fit
+    from repro.core.observers import HistoryRecorder
+
+    recorder = HistoryRecorder()
+    fit(_dense(), 3, variant="hpc2d", n_ranks=2, backend="socket",
+        max_iters=3, seed=1, observers=[recorder])
+    assert len(recorder.history) == 3
+    assert [s.iteration for s in recorder.history] == [0, 1, 2]
 
 
 def test_process_backend_observer_state_comes_home():

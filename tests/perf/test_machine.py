@@ -166,7 +166,9 @@ class TestOverlapCalibration:
             )
         measured = machine.overlap_efficiency
         assert measured is not None
-        assert set(measured) == {"thread", "process", "lockstep"}
+        # In-process backends are measured; the wire backends keep their
+        # static entries in the table (their probe would fork per call).
+        assert set(measured) == {"thread", "process", "lockstep", "socket", "mpi"}
         # Lockstep completes nonblocking ops eagerly at issue: pinned to 0.
         assert measured["lockstep"] == 0.0
         # Hidden fractions are physical: clamped to [0, 1] per the probe.
@@ -182,3 +184,85 @@ class TestOverlapCalibration:
         fractions = run_spmd(2, _overlap_probe, 48, 1, 0, backend="thread")
         assert len(fractions) == 2
         assert all(0.0 <= f <= 1.0 for f in fractions)
+
+
+class TestLinkCosts:
+    """The per-backend alpha-beta wire terms behind `repro plan --backend`."""
+
+    def test_defaults_cover_exactly_the_wire_backends(self):
+        from repro.perf.machine import DEFAULT_LINK_COSTS
+
+        assert set(DEFAULT_LINK_COSTS) == {"socket", "mpi"}
+        for alpha, beta in DEFAULT_LINK_COSTS.values():
+            assert alpha > 0 and beta > 0
+        # TCP loopback latency dwarfs an HPC interconnect's.
+        assert DEFAULT_LINK_COSTS["socket"][0] > DEFAULT_LINK_COSTS["mpi"][0]
+
+    def test_in_process_backends_are_byte_stable(self):
+        machine = edison_machine()
+        for backend in (None, "thread", "process", "lockstep", "no-such"):
+            assert machine.link_cost(backend) is None
+            assert machine.for_backend(backend) is machine
+
+    def test_for_backend_swaps_alpha_beta_keeps_gamma(self):
+        machine = edison_machine()
+        wired = machine.for_backend("socket")
+        alpha, beta = machine.link_cost("socket")
+        assert wired.network.alpha == alpha
+        assert wired.network.beta == beta
+        assert wired.network.gamma == machine.network.gamma
+        assert wired.name == "edison+socket"
+        # The compute-side efficiency table must be untouched.
+        assert wired.dense_mm_efficiency == machine.dense_mm_efficiency
+        assert wired.nls_efficiency == machine.nls_efficiency
+
+    def test_wire_pricing_raises_collective_costs(self):
+        machine = edison_machine()
+        wired = machine.for_backend("socket")
+        words = 10_000.0
+        assert wired.collectives().all_gather(words, 4) > (
+            machine.collectives().all_gather(words, 4)
+        )
+
+    def test_measured_table_overrides_defaults(self):
+        machine = edison_machine().with_options(
+            link_costs={"socket": (1e-3, 1e-6)}
+        )
+        assert machine.link_cost("socket") == (1e-3, 1e-6)
+        # A backend dropped from a custom table prices in-process.
+        assert machine.link_cost("mpi") is None
+
+    def test_link_probe_is_a_valid_spmd_program(self):
+        import warnings
+
+        from repro.comm.backends import run_spmd
+        from repro.perf.machine import _link_probe
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            results = run_spmd(2, _link_probe, 2, backend="socket")
+        alpha, beta = results[0]
+        assert results[1] is None  # the echo rank reports nothing
+        assert alpha > 0 and beta > 0
+        assert alpha < 1.0 and beta < 1e-3  # loopback, not carrier pigeon
+
+    def test_calibrate_rate_links_fills_the_socket_entry(self):
+        import warnings
+
+        from repro.perf.machine import DEFAULT_LINK_COSTS
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            spec = MachineSpec.calibrate(
+                size=64, repeats=1, rate_kernels=False, rate_links=True
+            )
+        assert spec.link_costs is not None
+        assert spec.link_costs["socket"] != DEFAULT_LINK_COSTS["socket"]
+        assert spec.link_costs["mpi"] == DEFAULT_LINK_COSTS["mpi"]
+        alpha, beta = spec.link_cost("socket")
+        assert alpha > 0 and beta > 0
+        assert spec.for_backend("socket").name == "local-calibrated+socket"
+
+    def test_links_are_off_by_default(self):
+        spec = MachineSpec.calibrate(size=64, repeats=1, rate_kernels=False)
+        assert spec.link_costs is None

@@ -194,3 +194,58 @@ class TestRenderPlanTable:
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             render_plan_table([])
+
+
+class TestWireBackendPricing:
+    """`repro plan --backend socket` prices plans at the wire's alpha-beta."""
+
+    def test_wire_backend_stamps_the_machine_name(self, machine):
+        problem = ProblemSpec(m=5000, n=3000, k=10)
+        plans = plan_candidates(problem, 4, machine=machine, backend="socket")
+        assert all(plan.machine == "edison+socket" for plan in plans)
+        mpi_plans = plan_candidates(problem, 4, machine=machine, backend="mpi")
+        assert all(plan.machine == "edison+mpi" for plan in mpi_plans)
+
+    def test_in_process_backend_pricing_is_unchanged(self, machine):
+        problem = ProblemSpec(m=5000, n=3000, k=10)
+        bare = plan_candidates(problem, 4, machine=machine)
+        in_process = plan_candidates(problem, 4, machine=machine,
+                                     backend="process")
+        assert all(plan.machine == "edison" for plan in bare + in_process)
+        # The blocking candidates must cost exactly the same with and
+        # without an in-process backend named (byte-stable pricing).
+        blocking = [p for p in in_process if p.schedule == "blocking"]
+        by_key = {(p.variant, p.grid): p.breakdown.total for p in bare}
+        for plan in blocking:
+            assert plan.breakdown.total == by_key[(plan.variant, plan.grid)]
+
+    def test_wire_pricing_changes_the_communication_term(self, machine):
+        """The repricing must surface in the predicted communication seconds,
+        not just in a renamed header: TCP's ~20x fatter alpha dominates when
+        messages are small, so a latency-bound problem must cost strictly
+        more over the socket wire than in process (for bandwidth-bound
+        problems the loopback link can legitimately be *cheaper* than
+        Edison's modeled per-core share, so no blanket ordering exists)."""
+
+        def blocking_comm(problem, backend):
+            plans = plan_candidates(
+                problem, 4, machine=machine, backend=backend,
+                variants=["hpc2d"], grid=(2, 2),
+            )
+            plan = next(p for p in plans if p.schedule == "blocking")
+            return plan.breakdown.communication
+
+        latency_bound = ProblemSpec(m=120, n=80, k=2)
+        assert blocking_comm(latency_bound, "socket") > (
+            blocking_comm(latency_bound, "process")
+        )
+        bandwidth_bound = ProblemSpec(m=5000, n=3000, k=10)
+        assert blocking_comm(bandwidth_bound, "socket") != (
+            blocking_comm(bandwidth_bound, "process")
+        )
+
+    def test_make_plan_accepts_wire_backend(self, machine):
+        plan = make_plan(ProblemSpec(m=4000, n=3000, k=10), 4,
+                         machine=machine, backend="socket")
+        assert plan.backend == "socket"
+        assert plan.machine == "edison+socket"
